@@ -1,0 +1,175 @@
+"""Ablation: model-level properties (concavity, sensitivity, scheduling).
+
+Backs the paper's analytic remarks with numbers:
+
+* U(d) is effectively concave for small rho but not for large rho
+  (the Fig. 8 discussion);
+* the optimal decision's sensitivity to each system parameter;
+* multi-batch schedules are stationary until the battery budget binds
+  (the Section 2 stationarity remark under Section 2.2's repeated
+  collection).
+"""
+
+from conftest import run_once
+
+from repro.core import (
+    MultiBatchScheduler,
+    airplane_scenario,
+    concavity_profile,
+    quadrocopter_scenario,
+    sensitivity,
+)
+
+
+def concavity_sweep():
+    out = {}
+    base = airplane_scenario()
+    for rho in (1.11e-4, 1e-3, 5e-3, 2e-2, 5e-2):
+        scenario = base.with_failure_rate(rho)
+        report = concavity_profile(
+            scenario.utility_model(),
+            scenario.contact_distance_m,
+            scenario.cruise_speed_mps,
+            scenario.data_bits,
+        )
+        out[rho] = report
+    return out
+
+
+def test_concavity_vs_rho(benchmark):
+    """Concavity degrades as rho grows (the paper's caveat)."""
+    reports = run_once(benchmark, concavity_sweep)
+    print("\n=== ablation: concavity of U(d) vs rho (airplane) ===")
+    for rho, report in reports.items():
+        flag = "yes" if report.effectively_concave else "no"
+        print(f"  rho={rho:8.2e}  concave fraction={report.concave_fraction:5.2f} "
+              f"unimodal={report.single_peak}  effectively concave: {flag}")
+    fractions = [r.concave_fraction for r in reports.values()]
+    assert fractions[0] > fractions[-1]
+    assert list(reports.values())[0].effectively_concave
+    assert not list(reports.values())[-1].effectively_concave
+
+
+def sensitivity_sweep():
+    return {
+        "airplane @15MB": sensitivity(airplane_scenario().with_data_megabytes(15.0)),
+        "airplane @2e-3 rho": sensitivity(
+            airplane_scenario().with_failure_rate(2e-3)
+        ),
+        "quadrocopter": sensitivity(quadrocopter_scenario()),
+    }
+
+
+def test_decision_sensitivity(benchmark):
+    """Signs of the sensitivities match Fig. 8/9's qualitative story."""
+    reports = run_once(benchmark, sensitivity_sweep)
+    print("\n=== ablation: d_opt sensitivity to a 10% parameter change ===")
+    for name, rep in reports.items():
+        print(
+            f"  {name:20s} d_opt={rep.dopt_m:5.1f} m  "
+            f"drho={rep.ddopt_drho:+6.1f}  dv={rep.ddopt_dspeed:+6.1f}  "
+            f"dM={rep.ddopt_dmdata:+6.1f}  dominant: {rep.dominant_parameter()}"
+        )
+    assert reports["airplane @15MB"].ddopt_dmdata < 0
+    assert reports["airplane @2e-3 rho"].ddopt_drho > 0
+
+
+def schedule_sweep():
+    scenario = quadrocopter_scenario()
+    unconstrained = MultiBatchScheduler(
+        scenario, sensing_time_s=60.0, range_budget_m=1e6
+    ).plan(5)
+    constrained = MultiBatchScheduler(
+        scenario, sensing_time_s=60.0, range_budget_m=1200.0
+    ).plan(5)
+    return unconstrained, constrained
+
+
+def test_multi_batch_schedules(benchmark):
+    """Stationary until the battery binds; then transmit from further."""
+    unconstrained, constrained = run_once(benchmark, schedule_sweep)
+    print("\n=== ablation: multi-batch scheduling (quadrocopter) ===")
+    print(f"  unconstrained: {unconstrained.completed_batches} rounds, "
+          f"stationary={unconstrained.stationary}, "
+          f"total delay {unconstrained.total_delay_s:.0f} s")
+    dists = [f"{r.decision.distance_m:.0f}" for r in constrained.rounds]
+    print(f"  1.2 km budget: {constrained.completed_batches} rounds at "
+          f"d_tx = {', '.join(dists)} m")
+    assert unconstrained.stationary
+    assert constrained.completed_batches < 5 or any(
+        r.battery_limited for r in constrained.rounds
+    )
+
+
+def deadline_sweep():
+    """Guarantee curves for three candidate plans (quadrocopter)."""
+    from repro.core import (
+        ExponentialFailure,
+        HoverAndTransmit,
+        LogFitThroughput,
+    )
+    from repro.core.deadline import expected_fraction_by, probability_fraction_by
+
+    quad = LogFitThroughput(-10.5, 73.0)
+    bits = 56.2 * 8e6
+    hazard = ExponentialFailure(2e-3)
+    plans = {
+        f"hover@{d:.0f}": HoverAndTransmit(quad, d).execute(100.0, 4.5, bits)
+        for d in (20.0, 60.0, 100.0)
+    }
+    rows = {}
+    for name, outcome in plans.items():
+        rows[name] = {
+            "P(80% by 40s)": probability_fraction_by(outcome, hazard, 0.8, 40.0),
+            "P(100% by 60s)": probability_fraction_by(outcome, hazard, 1.0, 60.0),
+            "E[frac by 40s]": expected_fraction_by(outcome, hazard, 40.0),
+        }
+    return rows
+
+
+def test_deadline_guarantees(benchmark):
+    """Deadline guarantees rank the plans differently than mean delay."""
+    rows = run_once(benchmark, deadline_sweep)
+    print("\n=== ablation: deadline guarantees (quad, rho=2e-3) ===")
+    for name, row in rows.items():
+        cells = "  ".join(f"{k}={v:.2f}" for k, v in row.items())
+        print(f"  {name:10s} {cells}")
+    # Transmitting immediately wins the early-fraction guarantee...
+    assert rows["hover@100"]["E[frac by 40s]"] > 0.0
+    # ...but closing the gap wins the full-delivery guarantee.
+    assert (
+        rows["hover@20"]["P(100% by 60s)"]
+        >= rows["hover@100"]["P(100% by 60s)"]
+    )
+
+
+def ferry_sweep():
+    """Direct vs heterogeneous ferry chain over a long haul."""
+    from repro.geo import EnuPoint
+    from repro.mission import FerryChainPlanner
+
+    planner = FerryChainPlanner()
+    ground = EnuPoint(0.0, 0.0, 0.0)
+    sensor = EnuPoint(2000.0, 0.0, 10.0)
+    out = {}
+    for ferry_x in (1900.0, 1000.0, 500.0):
+        ferry = EnuPoint(ferry_x, 0.0, 80.0)
+        out[ferry_x] = (
+            planner.direct_plan(sensor, ground),
+            planner.ferried_plan(sensor, ferry, ground),
+        )
+    return out
+
+
+def test_ferry_chains(benchmark):
+    """A fast fixed-wing ferry beats the slow sensor over long hauls."""
+    results = run_once(benchmark, ferry_sweep)
+    print("\n=== ablation: direct vs ferry chain (2 km haul) ===")
+    for ferry_x, (direct, ferried) in results.items():
+        print(
+            f"  ferry@{ferry_x:5.0f} m: direct {direct.total_delay_s:5.0f} s "
+            f"(surv {direct.total_survival:.2f})  vs  ferried "
+            f"{ferried.total_delay_s:5.0f} s (surv {ferried.total_survival:.2f})"
+        )
+    for direct, ferried in results.values():
+        assert ferried.total_delay_s < direct.total_delay_s

@@ -1,0 +1,117 @@
+"""Ablation: strategy families and failure-model variants.
+
+Design choices called out in DESIGN.md:
+
+* hover-and-transmit vs move-and-transmit vs mixed strategies — the
+  paper restricts its model to hover-and-transmit after observing that
+  motion wrecks the channel; the mixed family is its sketched extension;
+* stationary (exponential) vs non-stationary and Weibull hazards — the
+  paper's conclusion flags a richer failure model as future work;
+* single-mover vs holistic (both UAVs move) planning — the discussion
+  section's expected improvement.
+"""
+
+from conftest import run_once
+
+from repro.core import (
+    CommunicationDelayModel,
+    DelayedGratificationUtility,
+    DistanceOptimizer,
+    ExponentialFailure,
+    HolisticPlanner,
+    HoverAndTransmit,
+    LogFitThroughput,
+    MixedStrategy,
+    MoveAndTransmit,
+    NonStationaryFailure,
+    RendezvousPlanner,
+    WeibullFailure,
+    quadrocopter_scenario,
+)
+from repro.geo import EnuPoint
+
+QUAD = LogFitThroughput(-10.5, 73.0)
+BITS = 56.2 * 8e6
+
+
+def strategy_sweep():
+    """Completion time of each strategy family at the quad baseline."""
+    out = {}
+    for d in (20.0, 40.0, 60.0, 80.0, 100.0):
+        out[f"hover@{d:.0f}"] = HoverAndTransmit(QUAD, d).execute(
+            100.0, 4.5, BITS
+        ).completion_time_s
+    for stop in (20.0, 40.0, 60.0):
+        out[f"mixed@{stop:.0f}"] = MixedStrategy(QUAD, stop).execute(
+            100.0, 4.5, BITS
+        ).completion_time_s
+    out["move-and-transmit"] = MoveAndTransmit(QUAD, 20.0).execute(
+        100.0, 4.5, BITS
+    ).completion_time_s
+    return out
+
+
+def test_strategy_families(benchmark):
+    """Mixed plans shave delay off pure hover (the paper's Sec. 2.2
+    conjecture: "mixed strategies could further reduce the communication
+    delay"), and deeper stops beat shallower ones for this data size."""
+    times = run_once(benchmark, strategy_sweep)
+    print("\n=== ablation: strategy families (completion time, s) ===")
+    for name, t in sorted(times.items(), key=lambda kv: kv[1]):
+        print(f"  {name:20s} {t:7.1f}")
+    best_hover = min(v for k, v in times.items() if k.startswith("hover"))
+    assert times["mixed@20"] <= best_hover
+    assert times["hover@20"] < times["hover@100"]
+
+
+def failure_model_sweep():
+    """d_opt under the paper's hazard vs the future-work variants."""
+    delay = CommunicationDelayModel(QUAD, 20.0)
+    rho = 2e-3
+    models = {
+        "exponential (paper)": ExponentialFailure(rho),
+        "non-stationary (rising)": NonStationaryFailure(
+            lambda x: rho * (0.5 + x / 80.0 * 1.0)
+        ),
+        "weibull wear-out (k=2)": WeibullFailure(scale_m=1.0 / rho, shape=2.0),
+        "weibull infant (k=0.5)": WeibullFailure(scale_m=1.0 / rho, shape=0.5),
+    }
+    out = {}
+    for name, model in models.items():
+        utility = DelayedGratificationUtility(delay, model)
+        decision = DistanceOptimizer(utility, grid_step_m=2.0).optimize(
+            100.0, 4.5, BITS
+        )
+        out[name] = (decision.distance_m, decision.utility)
+    return out
+
+
+def test_failure_models(benchmark):
+    """Different hazards shift d_opt; all solutions stay feasible."""
+    results = run_once(benchmark, failure_model_sweep)
+    print("\n=== ablation: failure models (d_opt, U) at rho=2e-3 ===")
+    for name, (dopt, u) in results.items():
+        print(f"  {name:26s} d_opt = {dopt:5.1f} m   U = {u:.4f}")
+    for dopt, _ in results.values():
+        assert 20.0 <= dopt <= 100.0
+
+
+def planner_comparison():
+    """Single-mover vs holistic rendezvous on the quad baseline."""
+    scenario = quadrocopter_scenario()
+    sender = EnuPoint(100.0, 0.0, 10.0)
+    receiver = EnuPoint(0.0, 0.0, 10.0)
+    single = RendezvousPlanner(scenario).plan(sender, receiver)
+    holistic = HolisticPlanner(scenario).plan(sender, receiver)
+    return single.decision, holistic.decision
+
+
+def test_holistic_planner(benchmark):
+    """Moving both UAVs shortens the communication delay (paper Sec. 5)."""
+    single, holistic = run_once(benchmark, planner_comparison)
+    print("\n=== ablation: single-mover vs holistic planning ===")
+    print(f"  single mover : Cdelay = {single.cdelay_s:6.1f} s "
+          f"(d_opt {single.distance_m:.0f} m)")
+    print(f"  holistic     : Cdelay = {holistic.cdelay_s:6.1f} s "
+          f"(d_opt {holistic.distance_m:.0f} m)")
+    assert holistic.cdelay_s <= single.cdelay_s

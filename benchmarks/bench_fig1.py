@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 1 (transmitted data vs time).
+
+Analytic replay from the digitised experiment rates, plus a stochastic
+replay over the full simulated 802.11n quadrocopter link.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig1
+
+
+def test_fig1_analytic(benchmark):
+    """Fig. 1 from the digitised rates: d=60 wins, crossover ~ 12-15 MB."""
+    report = run_once(benchmark, fig1.run)
+    report.print()
+    assert report.data["winner"] == "d=60"
+    assert 8.0 <= report.data["crossover_mb"] <= 20.0
+
+
+def test_fig1_simulated_link(benchmark):
+    """Fig. 1 replayed through channel/PHY/MAC.
+
+    On the fit-calibrated channel the hover family orders by distance
+    (closing fully wins) and the mixed 'moving' plan finishes within a
+    narrow band of the best hover plan — the Section 2.2 conjecture.
+    """
+    report = run_once(benchmark, fig1.run_simulated)
+    report.print()
+    completion = report.data["completion_s"]
+    assert completion["d=20"] < completion["d=60"] < completion["d=80"]
+    best_hover = min(completion[k] for k in ("d=20", "d=40", "d=60", "d=80"))
+    assert 0.6 * best_hover <= completion["moving"] <= 1.4 * best_hover

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 2 (delivered data under failure)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2_strategy_cartoon(benchmark):
+    """The intermediate ship-then-transmit plan delivers the most."""
+    report = run_once(benchmark, fig2.run)
+    report.print()
+    assert report.data["best"] == "ship-to-60m"
+    assert report.data["fractions"]["ship-to-20m"] == 0.0

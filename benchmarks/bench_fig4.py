@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 4 (GPS traces of the waypoint patterns)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4_gps_traces(benchmark):
+    """Airplane fly-bys at 80/100 m; quads hovering at 10 m."""
+    report = run_once(benchmark, fig4.run)
+    report.print()
+    assert 14.0 <= report.data["peak_relative_speed_mps"] <= 27.0
+    assert report.data["relative_distance_max_m"] > 300.0

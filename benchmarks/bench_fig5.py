@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 5 (airplane throughput vs distance).
+
+Full fly-by campaign: boxplot statistics per 20 m bin and the log2 fit
+compared against the paper's s(d) = -5.56 log2 d + 49 (R^2 = 0.90).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_flyby_boxplots(benchmark):
+    """Median fit close to the paper's coefficients."""
+    report = run_once(benchmark, fig5.run)
+    report.print()
+    fit = report.data["fit"]
+    assert abs(fit.slope_mbps_per_octave - (-5.56)) < 1.5
+    assert abs(fit.intercept_mbps - 49.0) < 8.0
+    assert fit.r_squared > 0.8

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 6 (best fixed MCS vs auto rate).
+
+Full-duration fixed-distance sessions across 20-260 m for the paper's
+candidate set {MCS1, MCS2, MCS3, MCS8} plus the vendor auto-rate.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_fixed_vs_auto(benchmark):
+    """MCS3 / MCS1 / MCS8 win the paper's distance bands; fixed > auto."""
+    report = run_once(benchmark, fig6.run)
+    report.print()
+    best = report.data["best_by_distance"]
+    assert best[20] == 3 and best[100] == 3 and best[160] == 3
+    assert best[200] in (1, 3) and best[220] == 1  # crossover band
+    assert best[240] == 8 and best[260] == 8
+    assert all(r > 1.0 for r in report.data["ratio_by_distance"].values())

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7 (quadrocopter hover / moving / speed)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_quadrocopter_panels(benchmark):
+    """Hover fit near the paper's; moving and speed panels degrade."""
+    report = run_once(benchmark, fig7.run)
+    report.print()
+    fit = report.data["hover_fit"]
+    assert abs(fit.slope_mbps_per_octave - (-10.5)) < 3.0
+    assert abs(fit.intercept_mbps - 73.0) < 15.0
+    hover = report.data["hover_medians_mbps"]
+    moving = report.data["moving_medians_mbps"]
+    assert all(moving[d] < hover[d] for d in set(hover) & set(moving))
+    speeds = report.data["speed_medians_mbps"]
+    ordered = [speeds[v] for v in sorted(speeds)]
+    assert ordered[-1] < 0.5 * ordered[0]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 8 (U(d) for various failure rates)."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8_utility_curves(benchmark):
+    """d_opt increases with rho in both baseline scenarios."""
+    report = run_once(benchmark, fig8.run)
+    report.print()
+    for scenario_data in report.data.values():
+        rhos = list(scenario_data)
+        dopts = [scenario_data[r]["decision"].distance_m for r in rhos]
+        assert all(b >= a - 1e-6 for a, b in zip(dopts, dopts[1:]))

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 9 (U(d_opt) across Mdata and speed)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9_sweeps(benchmark):
+    """Faster -> closer; bigger batches -> closer but lower utility."""
+    report = run_once(benchmark, fig9.run)
+    report.print()
+    assert report.data["dopt_vs_speed_ok"]
+    assert report.data["u_vs_mdata_ok"]

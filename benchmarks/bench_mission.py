@@ -1,0 +1,32 @@
+"""System-level benchmark: the SAR mission policy comparison.
+
+Not a paper figure, but the end-to-end scenario the paper motivates:
+scan, ferry, transmit under failure risk, on the full simulated stack.
+"""
+
+from conftest import run_once
+
+from repro.mission import POLICIES, SarMissionSim
+
+
+def mission_sweep():
+    sim = SarMissionSim(seed=3, failure_rate_per_m=3e-3, sector_side_m=60.0)
+    return {p: sim.run(p, n_episodes=15) for p in POLICIES}
+
+
+def test_sar_mission_policies(benchmark):
+    """'immediate' survives most, 'closest' is fastest, optimal balances."""
+    summaries = run_once(benchmark, mission_sweep)
+    print("\n=== SAR mission: policy comparison (15 episodes each) ===")
+    for policy, s in summaries.items():
+        print(
+            f"  {policy:10s} delivered={100 * s.mean_delivered_fraction:5.1f}% "
+            f"delay={s.mean_communication_delay_s:6.1f}s "
+            f"crashes={100 * s.failure_rate:5.1f}% "
+            f"U={s.mean_realized_utility:.4f}"
+        )
+    assert summaries["immediate"].failure_rate <= summaries["closest"].failure_rate
+    assert (
+        summaries["closest"].mean_communication_delay_s
+        <= summaries["immediate"].mean_communication_delay_s
+    )

@@ -1,0 +1,55 @@
+"""Micro-benchmarks: library hot paths.
+
+These run repeatedly (real pytest-benchmark statistics) and guard the
+performance of the pieces the campaigns hammer hardest.
+"""
+
+from repro.channel import AerialChannel, airplane_profile
+from repro.core import airplane_scenario
+from repro.net import WirelessLink
+from repro.phy import ArfController, ErrorModel
+from repro.sim import RandomStreams
+
+
+def test_optimizer_solve_speed(benchmark):
+    """Solving Eq. 2 for the airplane baseline."""
+    scenario = airplane_scenario()
+    decision = benchmark(scenario.solve)
+    assert 20.0 <= decision.distance_m <= 300.0
+
+
+def test_channel_sampling_speed(benchmark):
+    """Per-burst SNR sampling (the inner loop of every campaign)."""
+    channel = AerialChannel(airplane_profile(), RandomStreams(1))
+    state = {"t": 0.0}
+
+    def sample():
+        state["t"] += 0.02
+        return channel.sample_snr_db(state["t"], 100.0)
+
+    value = benchmark(sample)
+    assert -60.0 < value < 60.0
+
+
+def test_link_step_speed(benchmark):
+    """One epoch of the link engine."""
+    streams = RandomStreams(1)
+    link = WirelessLink(
+        AerialChannel(airplane_profile(), streams), ArfController(),
+        streams=streams,
+    )
+    state = {"t": 0.0}
+
+    def step():
+        state["t"] += 0.02
+        return link.step(state["t"], distance_m=100.0)
+
+    result = benchmark(step)
+    assert result.subframes_sent >= 0
+
+
+def test_error_model_speed(benchmark):
+    """PER evaluation (called once per epoch per candidate)."""
+    model = ErrorModel()
+    per = benchmark(model.per, 10.0, 3, 1540)
+    assert 0.0 <= per <= 1.0

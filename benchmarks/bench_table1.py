@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (platform features)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_platforms(benchmark):
+    """Static registry matches the paper's Table 1."""
+    report = run_once(benchmark, table1.run)
+    report.print()
+    assert report.data["airplane"].cruise_speed_mps == 10.0
+    assert report.data["quadrocopter"].weight_kg == 1.7

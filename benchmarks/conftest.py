@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the regenerated rows/series next to the paper-reported values
+(the source material for EXPERIMENTS.md).  Heavy campaigns run once
+(``pedantic`` with a single round); the timing numbers double as a
+performance regression guard.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark clock, return result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Search-and-rescue mission: delivery policies head to head.
+
+A quadrocopter sweeps a sector with its camera, then must ferry the
+collected imagery (~56 MB) to a hovering relay.  Three policies are
+compared over repeated stochastic episodes on the full simulated stack
+(autopilot, battery, 802.11n link with vendor auto-rate, in-flight
+failures):
+
+* optimal   — ship to d_opt from the delayed-gratification model,
+* immediate — transmit as soon as the relay is in radio range,
+* closest   — always close to the 20 m safety floor first.
+
+Run:  python examples/sar_mission.py [n_episodes]
+"""
+
+import sys
+
+from repro.mission import POLICIES, SarMissionSim
+
+
+def main(n_episodes: int = 20) -> None:
+    """Run the comparison and print the per-policy scoreboard."""
+    print("SAR mission: scan a 60 m sector, deliver 56.2 MB to the relay")
+    print(f"hazard: 3e-3 failures per metre flown; {n_episodes} episodes/policy")
+    print()
+    sim = SarMissionSim(seed=3, failure_rate_per_m=3e-3, sector_side_m=60.0)
+    header = (
+        f"{'policy':12s} {'d_tx(m)':>8s} {'delivered':>10s} "
+        f"{'delay(s)':>9s} {'crashes':>8s} {'U_realized':>11s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for policy in POLICIES:
+        summary = sim.run(policy, n_episodes=n_episodes)
+        d_tx = summary.episodes[0].transmit_distance_m
+        print(
+            f"{policy:12s} {d_tx:8.0f} "
+            f"{100 * summary.mean_delivered_fraction:9.0f}% "
+            f"{summary.mean_communication_delay_s:9.1f} "
+            f"{100 * summary.failure_rate:7.0f}% "
+            f"{summary.mean_realized_utility:11.4f}"
+        )
+    print()
+    print(
+        "Reading: 'immediate' survives most but is slow; 'closest' is fast\n"
+        "but risky; the delayed-gratification optimum balances the two,\n"
+        "exactly the three-way tradeoff of the paper's Figure 2."
+    )
+
+
+if __name__ == "__main__":
+    episodes = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    main(episodes)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the `wheel` package cannot take pip's
+PEP 517 editable path; with this shim (and no [build-system] table in
+pyproject.toml) pip falls back to `setup.py develop`, which needs only
+setuptools.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of "Now or Later? Delaying Data Transfer in
+Time-Critical Aerial Communication" (Asadpour et al., CoNEXT 2013).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim` — discrete-event kernel, RNG streams, monitors.
+* :mod:`repro.geo` — coordinates, Haversine, trajectories, GPS noise.
+* :mod:`repro.airframe` — UAV platforms, dynamics, autopilot, battery.
+* :mod:`repro.channel` — aerial path loss, fading, link budget.
+* :mod:`repro.phy` — 802.11n MCS table, error model, rate control.
+* :mod:`repro.mac` — DCF, A-MPDU aggregation, block ACK.
+* :mod:`repro.net` — link engine, UDP transfers, iperf meter.
+* :mod:`repro.control` — XBee control channel, ground station.
+* :mod:`repro.measurements` — simulated campaigns, fits, paper data.
+* :mod:`repro.core` — the delayed-gratification model (the paper's
+  contribution): Cdelay, utility, optimiser, strategies, scenarios.
+* :mod:`repro.experiments` — regenerators for every table and figure.
+
+Quickstart::
+
+    from repro.core import airplane_scenario
+    decision = airplane_scenario().solve()
+    print(decision.distance_m, decision.utility)
+"""
+
+from .core import (
+    CommunicationDelayModel,
+    DelayedGratificationUtility,
+    DistanceOptimizer,
+    ExponentialFailure,
+    HoverAndTransmit,
+    LogFitThroughput,
+    MixedStrategy,
+    MoveAndTransmit,
+    OptimalDecision,
+    Scenario,
+    airplane_scenario,
+    quadrocopter_scenario,
+    transmit_now,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommunicationDelayModel",
+    "DelayedGratificationUtility",
+    "DistanceOptimizer",
+    "ExponentialFailure",
+    "HoverAndTransmit",
+    "LogFitThroughput",
+    "MixedStrategy",
+    "MoveAndTransmit",
+    "OptimalDecision",
+    "Scenario",
+    "airplane_scenario",
+    "quadrocopter_scenario",
+    "transmit_now",
+    "__version__",
+]

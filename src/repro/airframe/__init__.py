@@ -1,0 +1,21 @@
+"""UAV platforms, kinematics, batteries, and autopilot navigation."""
+
+from .autopilot import Autopilot, AutopilotMode, Uav
+from .battery import Battery, BatteryDepleted
+from .dynamics import PointMassDynamics, PointMassState
+from .platform import AIRPLANE, PLATFORMS, QUADROCOPTER, PlatformSpec, get_platform
+
+__all__ = [
+    "Autopilot",
+    "AutopilotMode",
+    "Uav",
+    "Battery",
+    "BatteryDepleted",
+    "PointMassDynamics",
+    "PointMassState",
+    "AIRPLANE",
+    "PLATFORMS",
+    "QUADROCOPTER",
+    "PlatformSpec",
+    "get_platform",
+]

@@ -1,0 +1,208 @@
+"""Waypoint-following autopilot and the UAV aggregate object.
+
+The autopilot reproduces the behaviour described in Section 3 of the
+paper: UAVs navigate autonomously through a waypoint list; on reaching a
+waypoint a quadrocopter hovers while an airplane loiters on a circle of
+at least 20 m radius.  A :class:`Uav` bundles platform spec, dynamics,
+battery, autopilot and trace recording, and is advanced on a fixed tick
+by the simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from ..geo.coords import EnuPoint
+from ..geo.trajectory import Trace, Waypoint
+from .battery import Battery, BatteryDepleted
+from .dynamics import PointMassDynamics, PointMassState
+from .platform import PlatformSpec
+
+__all__ = ["AutopilotMode", "Autopilot", "Uav"]
+
+
+class AutopilotMode(Enum):
+    """What the autopilot is currently doing."""
+
+    IDLE = "idle"
+    ENROUTE = "enroute"
+    HOLD = "hold"
+    DONE = "done"
+
+
+class Autopilot:
+    """Drives a :class:`PointMassDynamics` through a waypoint list."""
+
+    def __init__(self, dynamics: PointMassDynamics) -> None:
+        self._dynamics = dynamics
+        self._waypoints: List[Waypoint] = []
+        self._index = 0
+        self._hold_remaining = 0.0
+        self.mode = AutopilotMode.IDLE
+
+    # ------------------------------------------------------------------
+    @property
+    def current_waypoint(self) -> Optional[Waypoint]:
+        """The waypoint currently being pursued or held at."""
+        if self._index < len(self._waypoints):
+            return self._waypoints[self._index]
+        return None
+
+    @property
+    def mission_complete(self) -> bool:
+        """True once every waypoint has been visited and held."""
+        return self.mode == AutopilotMode.DONE
+
+    def load_mission(self, waypoints: Sequence[Waypoint]) -> None:
+        """Replace the waypoint list and restart navigation."""
+        self._waypoints = list(waypoints)
+        self._index = 0
+        self._hold_remaining = 0.0
+        self.mode = AutopilotMode.ENROUTE if self._waypoints else AutopilotMode.DONE
+
+    def append_waypoint(self, waypoint: Waypoint) -> None:
+        """Add a waypoint to the end of the mission."""
+        self._waypoints.append(waypoint)
+        if self.mode in (AutopilotMode.IDLE, AutopilotMode.DONE):
+            self.mode = AutopilotMode.ENROUTE
+
+    def divert(self, waypoint: Waypoint) -> None:
+        """Immediately abandon the current leg for ``waypoint``.
+
+        Used by the central planner to send a UAV to a rendezvous point;
+        remaining waypoints are preserved after the diversion.
+        """
+        self._waypoints.insert(self._index, waypoint)
+        self._hold_remaining = 0.0
+        self.mode = AutopilotMode.ENROUTE
+
+    # ------------------------------------------------------------------
+    def tick(self, dt: float) -> float:
+        """Advance the vehicle ``dt`` seconds; returns distance flown."""
+        if dt <= 0:
+            return 0.0
+        wp = self.current_waypoint
+        if wp is None:
+            self.mode = AutopilotMode.DONE
+            return self._idle_motion(dt)
+
+        if self.mode == AutopilotMode.HOLD:
+            self._hold_remaining -= dt
+            flown = self._hold_motion(wp, dt)
+            if self._hold_remaining <= 0:
+                self._index += 1
+                self.mode = (
+                    AutopilotMode.ENROUTE
+                    if self.current_waypoint is not None
+                    else AutopilotMode.DONE
+                )
+            return flown
+
+        # ENROUTE leg
+        flown = self._dynamics.advance_towards(wp.position, dt, wp.speed_mps)
+        if (
+            self._dynamics.state.position.distance_to(wp.position)
+            <= wp.acceptance_radius_m
+        ):
+            if wp.hold_s > 0:
+                self.mode = AutopilotMode.HOLD
+                self._hold_remaining = wp.hold_s
+            else:
+                self._index += 1
+                if self.current_waypoint is None:
+                    self.mode = AutopilotMode.DONE
+        return flown
+
+    def _hold_motion(self, wp: Waypoint, dt: float) -> float:
+        if self._dynamics.spec.can_hover:
+            return self._dynamics.advance_hover(dt)
+        return self._dynamics.advance_loiter(
+            wp.position, self._dynamics.spec.min_turn_radius_m, dt
+        )
+
+    def _idle_motion(self, dt: float) -> float:
+        # With no mission, rotorcraft hover in place; airplanes must keep
+        # airspeed, so they loiter where they are.
+        if self._dynamics.spec.can_hover:
+            return self._dynamics.advance_hover(dt)
+        return self._dynamics.advance_loiter(
+            self._dynamics.state.position, self._dynamics.spec.min_turn_radius_m, dt
+        )
+
+
+class Uav:
+    """One simulated vehicle: spec + dynamics + battery + autopilot + trace."""
+
+    def __init__(
+        self,
+        name: str,
+        spec: PlatformSpec,
+        position: EnuPoint,
+        heading_rad: float = 0.0,
+        charge_fraction: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.spec = spec
+        self.state = PointMassState(position, heading_rad=heading_rad)
+        self.dynamics = PointMassDynamics(spec, self.state)
+        self.battery = Battery(spec, charge_fraction)
+        self.autopilot = Autopilot(self.dynamics)
+        self.trace = Trace(name)
+        self.alive = True
+        self.distance_flown_m = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> EnuPoint:
+        """Current true position."""
+        return self.state.position
+
+    @property
+    def speed_mps(self) -> float:
+        """Current airspeed."""
+        return self.state.speed_mps
+
+    def distance_to(self, other: "Uav") -> float:
+        """3-D separation from another UAV in metres."""
+        return self.position.distance_to(other.position)
+
+    @property
+    def is_holding(self) -> bool:
+        """True while hovering/loitering at a waypoint (or idle)."""
+        return self.autopilot.mode in (AutopilotMode.HOLD, AutopilotMode.IDLE,
+                                       AutopilotMode.DONE)
+
+    # ------------------------------------------------------------------
+    def tick(self, now_s: float, dt: float, record_trace: bool = True) -> None:
+        """Advance the vehicle by ``dt`` seconds of flight.
+
+        Battery depletion marks the UAV dead but does not raise, so a
+        campaign can carry on with the surviving vehicles.
+        """
+        if not self.alive:
+            return
+        flown = self.autopilot.tick(dt)
+        self.distance_flown_m += flown
+        hovering = self.spec.can_hover and self.state.speed_mps < 0.1
+        try:
+            self.battery.consume(dt, self.state.speed_mps, hovering)
+        except BatteryDepleted:
+            self.alive = False
+        if record_trace:
+            self.trace.record(now_s + dt, self.position, self.state.speed_mps)
+
+    def estimated_travel_time_s(self, target: EnuPoint, speed: Optional[float] = None) -> float:
+        """Straight-line travel time estimate used by planners."""
+        v = self.dynamics.clamp_speed(
+            self.spec.cruise_speed_mps if speed is None else speed
+        )
+        return self.position.distance_to(target) / v
+
+    def heading_to(self, target: EnuPoint) -> float:
+        """Bearing (rad) from the current position towards ``target``."""
+        return math.atan2(
+            target.east_m - self.position.east_m,
+            target.north_m - self.position.north_m,
+        )

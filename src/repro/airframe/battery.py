@@ -1,0 +1,82 @@
+"""Battery model.
+
+A simple state-of-charge integrator: the battery drains at a nominal
+rate while airborne, with hovering and high-speed flight costing extra.
+It backs the paper's failure-rate choice (rho = 1 / full-battery range)
+and lets mission simulations abort when energy runs out.
+"""
+
+from __future__ import annotations
+
+from .platform import PlatformSpec
+
+__all__ = ["Battery", "BatteryDepleted"]
+
+
+class BatteryDepleted(RuntimeError):
+    """Raised when energy is drawn from an empty battery."""
+
+
+class Battery:
+    """Tracks remaining flight time for one UAV.
+
+    The unit of charge is *seconds of nominal (cruise) flight*; a full
+    battery holds ``spec.battery_autonomy_s`` of it.
+    """
+
+    #: Multiplier on drain while hovering (rotorcraft hover is expensive).
+    HOVER_FACTOR = 1.1
+    #: Additional quadratic penalty for flying above cruise speed.
+    SPEED_PENALTY = 0.5
+
+    def __init__(self, spec: PlatformSpec, charge_fraction: float = 1.0) -> None:
+        if not 0.0 <= charge_fraction <= 1.0:
+            raise ValueError("charge_fraction must be within [0, 1]")
+        self.spec = spec
+        self._remaining_s = spec.battery_autonomy_s * charge_fraction
+
+    @property
+    def remaining_s(self) -> float:
+        """Remaining charge in seconds of cruise flight."""
+        return self._remaining_s
+
+    @property
+    def fraction(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._remaining_s / self.spec.battery_autonomy_s
+
+    @property
+    def depleted(self) -> bool:
+        """Whether the battery is empty."""
+        return self._remaining_s <= 0.0
+
+    def remaining_range_m(self) -> float:
+        """Distance still coverable at cruise speed."""
+        return max(0.0, self._remaining_s) * self.spec.cruise_speed_mps
+
+    def drain_rate(self, speed_mps: float, hovering: bool) -> float:
+        """Charge-seconds consumed per wall-clock second at this state."""
+        if hovering:
+            return self.HOVER_FACTOR
+        cruise = self.spec.cruise_speed_mps
+        if speed_mps <= cruise:
+            return 1.0
+        overshoot = (speed_mps - cruise) / cruise
+        return 1.0 + self.SPEED_PENALTY * overshoot * overshoot
+
+    def consume(self, duration_s: float, speed_mps: float = 0.0, hovering: bool = False) -> None:
+        """Drain the battery for ``duration_s`` seconds of flight.
+
+        Raises :class:`BatteryDepleted` if the battery empties during the
+        interval (the charge is clamped at zero first so callers can
+        inspect the final state).
+        """
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        cost = duration_s * self.drain_rate(speed_mps, hovering)
+        self._remaining_s -= cost
+        if self._remaining_s < 0.0:
+            self._remaining_s = 0.0
+            raise BatteryDepleted(
+                f"{self.spec.name} battery depleted after drawing {cost:.1f}s"
+            )

@@ -1,0 +1,154 @@
+"""Point-mass UAV kinematics.
+
+The model the paper needs from the vehicle is modest — positions,
+speeds and travel times — so a point-mass integrator with a speed
+limit, linear acceleration, and a climb-rate limit is adequate.
+Fixed-wing platforms additionally refuse to fly slower than a stall
+fraction of cruise speed and turn along circular arcs (used to loiter).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..geo.coords import EnuPoint
+from .platform import PlatformSpec
+
+__all__ = ["PointMassState", "PointMassDynamics"]
+
+
+class PointMassState:
+    """Mutable kinematic state: position, heading (rad) and speed (m/s)."""
+
+    def __init__(
+        self,
+        position: EnuPoint,
+        heading_rad: float = 0.0,
+        speed_mps: float = 0.0,
+    ) -> None:
+        self.position = position
+        self.heading_rad = heading_rad
+        self.speed_mps = speed_mps
+
+    def copy(self) -> "PointMassState":
+        """A detached copy of this state."""
+        return PointMassState(self.position, self.heading_rad, self.speed_mps)
+
+
+class PointMassDynamics:
+    """Integrates a UAV state towards commanded targets.
+
+    All methods advance the state *in place* by ``dt`` seconds and
+    return the distance flown, which the battery model consumes.
+    """
+
+    #: Fixed-wing aircraft cannot fly below this fraction of cruise speed.
+    STALL_FRACTION = 0.6
+
+    def __init__(self, spec: PlatformSpec, state: PointMassState) -> None:
+        self.spec = spec
+        self.state = state
+
+    # ------------------------------------------------------------------
+    def min_speed(self) -> float:
+        """Lowest sustainable airspeed for the platform."""
+        if self.spec.can_hover:
+            return 0.0
+        return self.STALL_FRACTION * self.spec.cruise_speed_mps
+
+    def clamp_speed(self, requested: float) -> float:
+        """Limit a commanded speed to the platform's envelope."""
+        max_speed = self.spec.max_speed_mps or self.spec.cruise_speed_mps
+        return min(max(requested, self.min_speed()), max_speed)
+
+    # ------------------------------------------------------------------
+    def advance_towards(
+        self,
+        target: EnuPoint,
+        dt: float,
+        commanded_speed: Optional[float] = None,
+    ) -> float:
+        """Fly straight towards ``target`` for ``dt`` seconds.
+
+        Speed ramps linearly (bounded by ``max_acceleration_mps2``)
+        towards the commanded speed; vertical motion is capped by the
+        climb rate.  Returns the ground distance covered.
+        """
+        if dt <= 0:
+            return 0.0
+        state = self.state
+        speed_cmd = self.clamp_speed(
+            self.spec.cruise_speed_mps if commanded_speed is None else commanded_speed
+        )
+        # Accelerate / decelerate towards the commanded speed.
+        dv = speed_cmd - state.speed_mps
+        max_dv = self.spec.max_acceleration_mps2 * dt
+        state.speed_mps += max(-max_dv, min(max_dv, dv))
+
+        pos = state.position
+        de = target.east_m - pos.east_m
+        dn = target.north_m - pos.north_m
+        du = target.up_m - pos.up_m
+        horizontal = math.hypot(de, dn)
+        step = state.speed_mps * dt
+
+        if horizontal > 1e-9:
+            state.heading_rad = math.atan2(de, dn)
+        move = min(step, horizontal)
+        frac = 0.0 if horizontal <= 1e-9 else move / horizontal
+        climb = max(-self.spec.climb_rate_mps * dt, min(self.spec.climb_rate_mps * dt, du))
+        state.position = EnuPoint(
+            pos.east_m + de * frac, pos.north_m + dn * frac, pos.up_m + climb
+        )
+        return move
+
+    def advance_hover(self, dt: float) -> float:
+        """Hold position for ``dt`` seconds (hovering platforms only)."""
+        if not self.spec.can_hover:
+            raise ValueError(f"{self.spec.name} cannot hover")
+        self.state.speed_mps = 0.0
+        return 0.0
+
+    def advance_loiter(
+        self,
+        center: EnuPoint,
+        radius_m: float,
+        dt: float,
+        speed: Optional[float] = None,
+    ) -> float:
+        """Circle around ``center`` at ``radius_m`` for ``dt`` seconds.
+
+        This is how fixed-wing platforms "hover": the paper's Swinglets
+        circle a waypoint with a radius of at least 20 m.  Returns the
+        arc length flown.
+        """
+        radius = max(radius_m, self.spec.min_turn_radius_m or radius_m)
+        if radius <= 0:
+            raise ValueError("loiter radius must be positive")
+        state = self.state
+        v = self.clamp_speed(self.spec.cruise_speed_mps if speed is None else speed)
+        state.speed_mps = v
+        pos = state.position
+        de = pos.east_m - center.east_m
+        dn = pos.north_m - center.north_m
+        r_now = math.hypot(de, dn)
+        if r_now < 1e-6:
+            # Degenerate start at the centre: jump onto the circle eastward.
+            de, dn, r_now = radius, 0.0, radius
+        angle_now = math.atan2(dn, de)
+        # Advance along the circle by the flown arc (counter-clockwise).
+        arc = v * dt
+        angle_new = angle_now + arc / radius
+        # Blend radial error towards the commanded radius.
+        r_new = radius + (r_now - radius) * math.exp(-dt)
+        state.position = EnuPoint(
+            center.east_m + r_new * math.cos(angle_new),
+            center.north_m + r_new * math.sin(angle_new),
+            pos.up_m + max(
+                -self.spec.climb_rate_mps * dt,
+                min(self.spec.climb_rate_mps * dt, center.up_m - pos.up_m),
+            ),
+        )
+        state.heading_rad = angle_new + math.pi / 2.0
+        return arc

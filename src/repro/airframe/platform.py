@@ -1,0 +1,109 @@
+"""UAV platform specifications (Table 1 of the paper).
+
+Two heterogeneous flying platforms are modelled:
+
+* the *Swinglet* fixed-wing airplane — fast, light, long endurance, but
+  unable to hover (it loiters in circles of >= 20 m radius), and
+* the *Arducopter* quadrocopter — slower and heavier, but able to hover.
+
+The failure rate used by the delayed-gratification model is derived
+from these specs: ``rho = 1 / (battery_autonomy * cruise_speed)``, the
+inverse of the distance the platform can cover on a full battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["PlatformSpec", "AIRPLANE", "QUADROCOPTER", "PLATFORMS", "get_platform"]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Static characteristics of a flying platform (paper Table 1)."""
+
+    name: str
+    can_hover: bool
+    #: Human-readable size description (wingspan / frame).
+    size_description: str
+    weight_kg: float
+    battery_autonomy_s: float
+    cruise_speed_mps: float
+    max_safe_altitude_m: float
+    #: Airplanes cannot stop; they loiter on a circle of this radius.
+    min_turn_radius_m: float = 0.0
+    #: Simple kinematic limit used by the point-mass dynamics.
+    max_speed_mps: float = 0.0
+    max_acceleration_mps2: float = 3.0
+    climb_rate_mps: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.weight_kg <= 0:
+            raise ValueError("weight_kg must be positive")
+        if self.battery_autonomy_s <= 0:
+            raise ValueError("battery_autonomy_s must be positive")
+        if self.cruise_speed_mps <= 0:
+            raise ValueError("cruise_speed_mps must be positive")
+        if self.max_safe_altitude_m <= 0:
+            raise ValueError("max_safe_altitude_m must be positive")
+        if self.max_speed_mps and self.max_speed_mps < self.cruise_speed_mps:
+            raise ValueError("max_speed_mps must be >= cruise_speed_mps")
+        if not self.can_hover and self.min_turn_radius_m <= 0:
+            raise ValueError("non-hovering platforms need a positive turn radius")
+
+    @property
+    def battery_range_m(self) -> float:
+        """Distance coverable at cruise speed on a full battery."""
+        return self.battery_autonomy_s * self.cruise_speed_mps
+
+    @property
+    def nominal_failure_rate_per_m(self) -> float:
+        """The paper's rho: inverse of the full-battery range (per metre)."""
+        return 1.0 / self.battery_range_m
+
+
+#: The Swinglet fixed-wing platform (paper Table 1, left column).
+AIRPLANE = PlatformSpec(
+    name="airplane",
+    can_hover=False,
+    size_description="Wingspan: 80 cm",
+    weight_kg=0.5,
+    battery_autonomy_s=30 * 60.0,
+    cruise_speed_mps=10.0,
+    max_safe_altitude_m=300.0,
+    min_turn_radius_m=20.0,
+    max_speed_mps=20.0,
+    max_acceleration_mps2=2.0,
+    climb_rate_mps=3.0,
+)
+
+#: The Arducopter quadrocopter platform (paper Table 1, right column).
+QUADROCOPTER = PlatformSpec(
+    name="quadrocopter",
+    can_hover=True,
+    size_description="Frame: 64 cm by 64 cm",
+    weight_kg=1.7,
+    battery_autonomy_s=20 * 60.0,
+    cruise_speed_mps=4.5,
+    max_safe_altitude_m=100.0,
+    min_turn_radius_m=0.0,
+    max_speed_mps=15.0,
+    max_acceleration_mps2=3.0,
+    climb_rate_mps=2.0,
+)
+
+PLATFORMS: Dict[str, PlatformSpec] = {
+    AIRPLANE.name: AIRPLANE,
+    QUADROCOPTER.name: QUADROCOPTER,
+}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look up a platform by name ('airplane' or 'quadrocopter')."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+        ) from None

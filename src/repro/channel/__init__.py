@@ -1,0 +1,53 @@
+"""Aerial wireless channel: path loss, fading, link budget, mobility."""
+
+from .antenna import AttitudeState, DipolePattern, orientation_loss_db
+from .channel import (
+    AerialChannel,
+    ChannelProfile,
+    airplane_profile,
+    indoor_profile,
+    quadrocopter_profile,
+)
+from .fading import (
+    GaussMarkovShadowing,
+    RicianFading,
+    ShadowingConfig,
+    doppler_coherence_time_s,
+)
+from .interference import InterferenceField, InterferenceSource
+from .linkbudget import LinkBudget, noise_floor_dbm
+from .mobility import SpeedPenalty
+from .pathloss import (
+    DualSlopePathLoss,
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    ObstacleLoss,
+    PathLossModel,
+    TwoRayGroundPathLoss,
+)
+
+__all__ = [
+    "AttitudeState",
+    "DipolePattern",
+    "orientation_loss_db",
+    "AerialChannel",
+    "ChannelProfile",
+    "airplane_profile",
+    "indoor_profile",
+    "quadrocopter_profile",
+    "GaussMarkovShadowing",
+    "RicianFading",
+    "ShadowingConfig",
+    "doppler_coherence_time_s",
+    "InterferenceField",
+    "InterferenceSource",
+    "LinkBudget",
+    "noise_floor_dbm",
+    "SpeedPenalty",
+    "DualSlopePathLoss",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "ObstacleLoss",
+    "PathLossModel",
+    "TwoRayGroundPathLoss",
+]

@@ -1,0 +1,157 @@
+"""Fading processes for the aerial channel.
+
+Two time scales matter for the paper's observations:
+
+* **Slow attitude/orientation fading** — banking airplanes and tilting
+  quadrocopters swing their planar antennas through nulls.  Modelled as
+  a first-order Gauss-Markov (exponentially correlated) process in dB
+  with occasional deep *dropouts* (orientation nulls), the main reason
+  auto-rate adaptation collapses in the air.
+* **Fast multipath fading** — Rician small-scale fading whose coherence
+  time shrinks with relative speed (Doppler), the reason 'move and
+  transmit' underperforms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ShadowingConfig",
+    "GaussMarkovShadowing",
+    "RicianFading",
+    "doppler_coherence_time_s",
+]
+
+
+def doppler_coherence_time_s(
+    relative_speed_mps: float, frequency_hz: float = 5.2e9
+) -> float:
+    """Channel coherence time from the classic ``0.423 / f_d`` rule.
+
+    ``f_d = v / lambda`` is the maximum Doppler shift.  For v = 8 m/s at
+    5.2 GHz this gives roughly 3 ms — far below any rate-adaptation
+    update interval, which is why moving transmitters fare so poorly.
+    """
+    if relative_speed_mps < 0:
+        raise ValueError("speed must be non-negative")
+    wavelength = 299_792_458.0 / frequency_hz
+    doppler_hz = relative_speed_mps / wavelength
+    if doppler_hz <= 1e-9:
+        return float("inf")
+    return 0.423 / doppler_hz
+
+
+@dataclass(frozen=True)
+class ShadowingConfig:
+    """Parameters of the slow attitude/orientation fading process."""
+
+    sigma_db: float = 4.0
+    #: Correlation time of the attitude swings (seconds).
+    coherence_time_s: float = 0.5
+    #: Probability that a coherence epoch is an orientation null.
+    dropout_probability: float = 0.05
+    #: Extra attenuation during a null (dB).
+    dropout_depth_db: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_db < 0:
+            raise ValueError("sigma_db must be non-negative")
+        if self.coherence_time_s <= 0:
+            raise ValueError("coherence_time_s must be positive")
+        if not 0.0 <= self.dropout_probability <= 1.0:
+            raise ValueError("dropout_probability must be in [0, 1]")
+        if self.dropout_depth_db < 0:
+            raise ValueError("dropout_depth_db must be non-negative")
+
+
+class GaussMarkovShadowing:
+    """Exponentially correlated log-normal shadowing with dropouts.
+
+    ``sample(now)`` returns the current shadowing term in dB (negative =
+    fade).  Between calls the process decorrelates with the configured
+    coherence time; dropout epochs are redrawn whenever the process has
+    decorrelated by more than one coherence time.
+    """
+
+    def __init__(self, config: ShadowingConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        self._value = float(rng.normal(0.0, config.sigma_db)) if config.sigma_db else 0.0
+        self._in_dropout = bool(rng.random() < config.dropout_probability)
+        self._last_time: float | None = None
+        self._epoch_elapsed = 0.0
+
+    def sample(self, now_s: float) -> float:
+        """Shadowing value (dB) at time ``now_s`` (non-decreasing calls)."""
+        cfg = self.config
+        if self._last_time is not None:
+            dt = max(0.0, now_s - self._last_time)
+            if cfg.sigma_db > 0:
+                alpha = math.exp(-dt / cfg.coherence_time_s)
+                drive = cfg.sigma_db * math.sqrt(max(0.0, 1.0 - alpha * alpha))
+                self._value = alpha * self._value + float(
+                    self._rng.normal(0.0, 1.0)
+                ) * drive
+            self._epoch_elapsed += dt
+            if self._epoch_elapsed >= cfg.coherence_time_s:
+                self._epoch_elapsed = 0.0
+                self._in_dropout = bool(
+                    self._rng.random() < cfg.dropout_probability
+                )
+        self._last_time = now_s
+        value = self._value
+        if self._in_dropout:
+            value -= cfg.dropout_depth_db
+        return value
+
+
+class RicianFading:
+    """Small-scale Rician fading sampled per transmission burst.
+
+    The K-factor (ratio of line-of-sight to scattered power) shrinks
+    with relative speed: a fast-moving airframe sweeps through the
+    ground-reflection interference pattern and its attitude jitters,
+    scattering more energy off the direct path.
+
+    ``sample_db(speed)`` returns the instantaneous fading gain in dB
+    relative to the mean channel.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        k_factor_hover_db: float = 12.0,
+        k_factor_floor_db: float = 0.0,
+        speed_scale_mps: float = 6.0,
+    ) -> None:
+        if speed_scale_mps <= 0:
+            raise ValueError("speed_scale_mps must be positive")
+        self._rng = rng
+        self.k_factor_hover_db = k_factor_hover_db
+        self.k_factor_floor_db = k_factor_floor_db
+        self.speed_scale_mps = speed_scale_mps
+
+    def k_factor_db(self, relative_speed_mps: float) -> float:
+        """Rician K-factor (dB) at the given relative speed."""
+        if relative_speed_mps < 0:
+            raise ValueError("speed must be non-negative")
+        span = self.k_factor_hover_db - self.k_factor_floor_db
+        return self.k_factor_floor_db + span * math.exp(
+            -relative_speed_mps / self.speed_scale_mps
+        )
+
+    def sample_db(self, relative_speed_mps: float = 0.0) -> float:
+        """One fading realisation (dB), unit mean power."""
+        k_lin = 10.0 ** (self.k_factor_db(relative_speed_mps) / 10.0)
+        # Rician envelope power: LOS amplitude nu, scatter sigma^2 per
+        # component, normalised to unit mean power.
+        sigma2 = 1.0 / (2.0 * (k_lin + 1.0))
+        nu = math.sqrt(k_lin / (k_lin + 1.0))
+        x = float(self._rng.normal(nu, math.sqrt(sigma2)))
+        y = float(self._rng.normal(0.0, math.sqrt(sigma2)))
+        power = x * x + y * y
+        return 10.0 * math.log10(max(power, 1e-12))

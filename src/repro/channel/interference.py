@@ -1,0 +1,74 @@
+"""Co-channel interference sources.
+
+The testbed selected channel 40 (5 GHz) precisely to escape the 2.4 GHz
+band shared with the XBee control link; residual interference is small
+but non-zero.  An :class:`InterferenceField` aggregates point sources
+and converts their received power into an SNR degradation (treating
+interference as additional noise, i.e. an SINR computation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..geo.coords import EnuPoint
+from .pathloss import FreeSpacePathLoss, PathLossModel
+
+__all__ = ["InterferenceSource", "InterferenceField"]
+
+
+@dataclass(frozen=True)
+class InterferenceSource:
+    """A point interferer with a transmit power and duty cycle."""
+
+    position: EnuPoint
+    tx_power_dbm: float
+    duty_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be within [0, 1]")
+
+
+class InterferenceField:
+    """Aggregates interferers into an effective noise rise at a receiver."""
+
+    def __init__(self, pathloss: PathLossModel | None = None) -> None:
+        self._pathloss = pathloss if pathloss is not None else FreeSpacePathLoss()
+        self._sources: List[InterferenceSource] = []
+
+    def add(self, source: InterferenceSource) -> None:
+        """Register an interference source."""
+        self._sources.append(source)
+
+    @property
+    def sources(self) -> List[InterferenceSource]:
+        """The registered sources (shallow copy)."""
+        return list(self._sources)
+
+    def interference_dbm(self, receiver: EnuPoint) -> float:
+        """Total mean interference power at ``receiver`` (dBm).
+
+        Returns ``-inf`` when no source contributes.
+        """
+        total_mw = 0.0
+        for src in self._sources:
+            if src.duty_cycle <= 0.0:
+                continue
+            distance = max(1.0, src.position.distance_to(receiver))
+            rx_dbm = src.tx_power_dbm - self._pathloss.loss_db(distance)
+            total_mw += src.duty_cycle * 10.0 ** (rx_dbm / 10.0)
+        if total_mw <= 0.0:
+            return float("-inf")
+        return 10.0 * math.log10(total_mw)
+
+    def snr_degradation_db(self, receiver: EnuPoint, noise_floor_dbm: float) -> float:
+        """How many dB the effective noise floor rises at ``receiver``."""
+        interference = self.interference_dbm(receiver)
+        if interference == float("-inf"):
+            return 0.0
+        noise_mw = 10.0 ** (noise_floor_dbm / 10.0)
+        total_mw = noise_mw + 10.0 ** (interference / 10.0)
+        return 10.0 * math.log10(total_mw / noise_mw)

@@ -1,0 +1,40 @@
+"""Mobility impact on the aerial link.
+
+Figure 7 (right) of the paper shows throughput at a fixed 60 m distance
+collapsing as the transmitting quadrocopter's speed grows.  Two effects
+drive this and both are modelled:
+
+* a mean SNR penalty growing with speed (airframe pitch tilts the
+  antennas off boresight; vibration raises the phase-noise floor), and
+* a Doppler-driven collapse of the channel coherence time, which breaks
+  rate adaptation (see :func:`repro.channel.fading.doppler_coherence_time_s`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpeedPenalty"]
+
+
+@dataclass(frozen=True)
+class SpeedPenalty:
+    """Linear-with-saturation SNR penalty for a moving transmitter.
+
+    ``penalty_db(v) = min(max_penalty_db, slope_db_per_mps * v)``.
+    """
+
+    slope_db_per_mps: float = 0.55
+    max_penalty_db: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.slope_db_per_mps < 0:
+            raise ValueError("slope must be non-negative")
+        if self.max_penalty_db < 0:
+            raise ValueError("max penalty must be non-negative")
+
+    def penalty_db(self, relative_speed_mps: float) -> float:
+        """SNR penalty (dB, >= 0) at the given relative speed."""
+        if relative_speed_mps < 0:
+            raise ValueError("speed must be non-negative")
+        return min(self.max_penalty_db, self.slope_db_per_mps * relative_speed_mps)

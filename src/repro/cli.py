@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+solve       Solve Eq. 2 for a baseline scenario (with overrides).
+experiment  Regenerate one of the paper's tables/figures.
+mission     Run the end-to-end SAR mission policy comparison.
+validate    Re-check the channel calibration against the paper's fits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.scenario import Scenario, airplane_scenario, quadrocopter_scenario
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = (
+    "fig1", "fig2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Now or Later? Delaying Data Transfer in "
+            "Time-Critical Aerial Communication' (CoNEXT 2013)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser(
+        "solve", help="solve the delayed-gratification problem (Eq. 2)"
+    )
+    solve.add_argument(
+        "scenario", choices=("airplane", "quadrocopter"),
+        help="baseline scenario (paper Section 4)",
+    )
+    solve.add_argument("--mdata-mb", type=float, help="override Mdata in MB")
+    solve.add_argument("--speed", type=float, help="override cruise speed (m/s)")
+    solve.add_argument("--rho", type=float, help="override failure rate (1/m)")
+    solve.add_argument("--d0", type=float, help="override contact distance (m)")
+    solve.add_argument(
+        "--sensitivity",
+        action="store_true",
+        help="also report how a 10%% parameter change moves d_opt",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS + ("all",))
+
+    mission = sub.add_parser(
+        "mission", help="end-to-end SAR mission policy comparison"
+    )
+    mission.add_argument("--episodes", type=int, default=15)
+    mission.add_argument("--seed", type=int, default=3)
+    mission.add_argument("--rho", type=float, default=3e-3,
+                         help="failure rate during delivery (1/m)")
+
+    sub.add_parser(
+        "validate", help="re-check the channel calibration vs the paper"
+    )
+    return parser
+
+
+def _scenario_with_overrides(args: argparse.Namespace) -> Scenario:
+    scenario = (
+        airplane_scenario() if args.scenario == "airplane"
+        else quadrocopter_scenario()
+    )
+    if args.mdata_mb is not None:
+        scenario = scenario.with_data_megabytes(args.mdata_mb)
+    if args.speed is not None:
+        scenario = scenario.with_speed(args.speed)
+    if args.rho is not None:
+        scenario = scenario.with_failure_rate(args.rho)
+    if args.d0 is not None:
+        import dataclasses
+
+        scenario = dataclasses.replace(scenario, contact_distance_m=args.d0)
+    return scenario
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    scenario = _scenario_with_overrides(args)
+    decision = scenario.solve()
+    print(f"scenario          : {scenario.name}")
+    print(f"Mdata             : {scenario.data_megabytes:.1f} MB")
+    print(f"cruise speed      : {scenario.cruise_speed_mps:g} m/s")
+    print(f"failure rate      : {scenario.failure_rate_per_m:.3e} /m")
+    print(f"contact distance  : {scenario.contact_distance_m:g} m")
+    print("-" * 40)
+    print(f"optimal distance  : {decision.distance_m:.1f} m")
+    print(f"communication delay: {decision.cdelay_s:.1f} s "
+          f"(ship {decision.shipping_s:.1f} + tx {decision.transmission_s:.1f})")
+    print(f"survival prob.    : {decision.discount:.3f}")
+    print(f"utility U(dopt)   : {decision.utility:.4f}")
+    print(
+        "decision          : "
+        + ("transmit immediately" if decision.transmit_immediately
+           else "delay gratification (fly closer first)")
+    )
+    if args.sensitivity:
+        from .core.analysis import sensitivity
+
+        report = sensitivity(scenario)
+        print("-" * 40)
+        print("sensitivity of d_opt to a 10% parameter change:")
+        print(f"  failure rate      : {report.ddopt_drho:+.1f} m")
+        print(f"  cruise speed      : {report.ddopt_dspeed:+.1f} m")
+        print(f"  data size         : {report.ddopt_dmdata:+.1f} m")
+        print(f"  dominant parameter: {report.dominant_parameter()}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    if args.name == "all":
+        for report in experiments.run_all():
+            report.print()
+            print()
+        return 0
+    module = getattr(experiments, args.name)
+    module.run().print()
+    return 0
+
+
+def _cmd_mission(args: argparse.Namespace) -> int:
+    from .mission import POLICIES, SarMissionSim
+
+    sim = SarMissionSim(seed=args.seed, failure_rate_per_m=args.rho)
+    print(f"{'policy':12s} {'delivered':>10s} {'delay(s)':>9s} "
+          f"{'crashes':>8s} {'U':>8s}")
+    for policy in POLICIES:
+        summary = sim.run(policy, n_episodes=args.episodes)
+        print(
+            f"{policy:12s} {100 * summary.mean_delivered_fraction:9.0f}% "
+            f"{summary.mean_communication_delay_s:9.1f} "
+            f"{100 * summary.failure_rate:7.0f}% "
+            f"{summary.mean_realized_utility:8.4f}"
+        )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .measurements.validate import validate_calibration
+
+    report = validate_calibration()
+    for line in report.summary_lines():
+        print(line)
+    if report.all_passed:
+        print("calibration OK: the simulator matches the paper's fits")
+        return 0
+    print("calibration DRIFTED: see failures above", file=sys.stderr)
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "experiment": _cmd_experiment,
+        "mission": _cmd_mission,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)

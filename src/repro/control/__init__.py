@@ -1,0 +1,22 @@
+"""Control plane: XBee channel, telemetry, ground-station planner."""
+
+from .groundstation import GroundStation, UavState
+from .telemetry import (
+    TELEMETRY_BYTES,
+    WAYPOINT_BYTES,
+    TelemetryReport,
+    WaypointCommand,
+)
+from .xbee import ControlChannel, ControlMessage, XBeeConfig
+
+__all__ = [
+    "GroundStation",
+    "UavState",
+    "TELEMETRY_BYTES",
+    "WAYPOINT_BYTES",
+    "TelemetryReport",
+    "WaypointCommand",
+    "ControlChannel",
+    "ControlMessage",
+    "XBeeConfig",
+]

@@ -1,0 +1,123 @@
+"""The ground station: central planner endpoint of the control channel.
+
+Collects telemetry from every UAV, keeps the latest known state, and —
+when a UAV reports a pending data batch — asks a rendezvous planner for
+the optimal transfer and pushes the resulting waypoints back out over
+the XBee channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.planner import RendezvousPlan, RendezvousPlanner
+from ..geo.coords import EnuPoint, LocalFrame
+from ..sim.kernel import Simulator
+from .telemetry import TELEMETRY_BYTES, WAYPOINT_BYTES, TelemetryReport, WaypointCommand
+from .xbee import ControlChannel, ControlMessage
+
+__all__ = ["UavState", "GroundStation"]
+
+
+@dataclass
+class UavState:
+    """Latest knowledge the planner holds about one UAV."""
+
+    name: str
+    position: EnuPoint
+    speed_mps: float
+    battery_fraction: float
+    pending_data_bytes: int
+    last_report_s: float
+
+
+class GroundStation:
+    """Central planner: telemetry in, waypoint commands out."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: ControlChannel,
+        frame: LocalFrame,
+        planner: Optional[RendezvousPlanner] = None,
+        position: EnuPoint = EnuPoint(0.0, 0.0, 0.0),
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.frame = frame
+        self.planner = planner
+        self.position = position
+        self.states: Dict[str, UavState] = {}
+        self.plans: List[RendezvousPlan] = []
+        self._command_sinks: Dict[str, Callable[[WaypointCommand], None]] = {}
+
+    # ------------------------------------------------------------------
+    def register_uav(
+        self, name: str, command_sink: Callable[[WaypointCommand], None]
+    ) -> None:
+        """Register the callback that delivers commands to a UAV."""
+        self._command_sinks[name] = command_sink
+
+    def receive_telemetry(self, report: TelemetryReport) -> None:
+        """Ingest one report, updating the planner's world view."""
+        position = self.frame.to_enu(report.fix)
+        self.states[report.uav_name] = UavState(
+            name=report.uav_name,
+            position=position,
+            speed_mps=report.speed_mps,
+            battery_fraction=report.battery_fraction,
+            pending_data_bytes=report.has_data_bytes,
+            last_report_s=report.time_s,
+        )
+
+    # ------------------------------------------------------------------
+    def plan_transfer(self, sender: str, receiver: str) -> Optional[RendezvousPlan]:
+        """Plan an optimal transfer between two known UAVs.
+
+        Returns None when either UAV is unknown or no planner is
+        configured.  Waypoint commands are dispatched over the control
+        channel to both parties.
+        """
+        if self.planner is None:
+            return None
+        state_tx = self.states.get(sender)
+        state_rx = self.states.get(receiver)
+        if state_tx is None or state_rx is None:
+            return None
+        data_bits = (
+            state_tx.pending_data_bytes * 8.0
+            if state_tx.pending_data_bytes > 0
+            else None
+        )
+        plan = self.planner.plan(state_tx.position, state_rx.position, data_bits)
+        self.plans.append(plan)
+        self._dispatch(sender, WaypointCommand(sender, plan.sender_waypoint))
+        self._dispatch(receiver, WaypointCommand(receiver, plan.receiver_waypoint))
+        return plan
+
+    def _dispatch(self, uav_name: str, command: WaypointCommand) -> None:
+        sink = self._command_sinks.get(uav_name)
+        if sink is None:
+            return
+        state = self.states.get(uav_name)
+        distance = (
+            self.position.distance_to(state.position) if state is not None else 0.0
+        )
+        message = ControlMessage(
+            sender="ground",
+            recipient=uav_name,
+            payload=command,
+            payload_bytes=WAYPOINT_BYTES,
+        )
+        self.channel.send(message, distance, lambda msg: sink(msg.payload))
+
+    # ------------------------------------------------------------------
+    def telemetry_message(self, report: TelemetryReport) -> ControlMessage:
+        """Wrap a report for transmission (used by the UAV side)."""
+        return ControlMessage(
+            sender=report.uav_name,
+            recipient="ground",
+            payload=report,
+            payload_bytes=TELEMETRY_BYTES,
+        )

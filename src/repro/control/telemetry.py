@@ -1,0 +1,51 @@
+"""Telemetry messages exchanged over the control channel.
+
+Light-weight status reports (GPS position, speed, battery) flow from
+each UAV to the central planner; waypoint commands flow back.  Sizes
+are chosen to match a compact binary encoding, keeping the 250 kb/s
+channel nearly idle as in the testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo.coords import GeoPoint
+from ..geo.trajectory import Waypoint
+
+__all__ = ["TelemetryReport", "WaypointCommand", "TELEMETRY_BYTES", "WAYPOINT_BYTES"]
+
+#: Encoded size of a telemetry report (id + fix + speed + battery + crc).
+TELEMETRY_BYTES = 40
+#: Encoded size of a waypoint command.
+WAYPOINT_BYTES = 32
+
+
+@dataclass(frozen=True)
+class TelemetryReport:
+    """UAV -> ground station status snapshot."""
+
+    uav_name: str
+    time_s: float
+    fix: GeoPoint
+    speed_mps: float
+    battery_fraction: float
+    has_data_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.battery_fraction <= 1.0:
+            raise ValueError("battery_fraction must be within [0, 1]")
+        if self.speed_mps < 0:
+            raise ValueError("speed must be non-negative")
+        if self.has_data_bytes < 0:
+            raise ValueError("has_data_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class WaypointCommand:
+    """Ground station -> UAV navigation command."""
+
+    uav_name: str
+    waypoint: Waypoint
+    #: Replace the current leg (divert) or append to the mission.
+    divert: bool = True

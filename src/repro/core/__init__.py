@@ -1,0 +1,88 @@
+"""The paper's contribution: the delayed-gratification transfer model."""
+
+from .analysis import (
+    ConcavityReport,
+    SensitivityReport,
+    concavity_profile,
+    is_effectively_concave,
+    sensitivity,
+)
+from .deadline import (
+    deadline_curve,
+    expected_fraction_by,
+    probability_fraction_by,
+    time_to_fraction,
+)
+from .delay import CommunicationDelayModel, DelayBreakdown
+from .failure import (
+    ExponentialFailure,
+    FailureModel,
+    NonStationaryFailure,
+    WeibullFailure,
+    failure_rate_from_platform,
+)
+from .mission import JPG100_BYTES_PER_PIXEL, CameraModel, SectorMission
+from .optimizer import DistanceOptimizer, OptimalDecision
+from .planner import HolisticPlanner, RendezvousPlan, RendezvousPlanner
+from .scenario import Scenario, airplane_scenario, quadrocopter_scenario
+from .schedule import DeliveryRound, MissionSchedule, MultiBatchScheduler
+from .strategies import (
+    HoverAndTransmit,
+    MixedStrategy,
+    MoveAndTransmit,
+    StrategyOutcome,
+    transmit_now,
+)
+from .throughput import (
+    MIN_THROUGHPUT_BPS,
+    LogFitThroughput,
+    SpeedScaledThroughput,
+    TableThroughput,
+    ThroughputModel,
+)
+from .utility import DelayedGratificationUtility, UtilityBreakdown
+
+__all__ = [
+    "ConcavityReport",
+    "SensitivityReport",
+    "concavity_profile",
+    "is_effectively_concave",
+    "sensitivity",
+    "DeliveryRound",
+    "MissionSchedule",
+    "MultiBatchScheduler",
+    "deadline_curve",
+    "expected_fraction_by",
+    "probability_fraction_by",
+    "time_to_fraction",
+    "CommunicationDelayModel",
+    "DelayBreakdown",
+    "ExponentialFailure",
+    "FailureModel",
+    "NonStationaryFailure",
+    "WeibullFailure",
+    "failure_rate_from_platform",
+    "JPG100_BYTES_PER_PIXEL",
+    "CameraModel",
+    "SectorMission",
+    "DistanceOptimizer",
+    "OptimalDecision",
+    "HolisticPlanner",
+    "RendezvousPlan",
+    "RendezvousPlanner",
+    "Scenario",
+    "airplane_scenario",
+    "quadrocopter_scenario",
+    "HoverAndTransmit",
+    "MixedStrategy",
+    "MoveAndTransmit",
+    "StrategyOutcome",
+    "transmit_now",
+    "MIN_THROUGHPUT_BPS",
+    "LogFitThroughput",
+    "SpeedScaledThroughput",
+    "TableThroughput",
+    "ThroughputModel",
+    "DelayedGratificationUtility",
+    "UtilityBreakdown",
+]

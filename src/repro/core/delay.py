@@ -1,0 +1,102 @@
+"""The communication-delay model ``Cdelay(d) = Tship + Ttx`` (paper §2.2).
+
+* ``Tship = (d0 - d) / v`` — time to fly from the contact distance
+  ``d0`` to the chosen transmit distance ``d`` at cruise speed ``v``.
+* ``Ttx = Mdata / s(d)`` — time to push the batch at the hover rate.
+
+Moving further away than ``d0`` is never beneficial (the paper's
+footnote 2), so ``d > d0`` is rejected; the collision-safety floor
+bounds ``d`` from below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .throughput import ThroughputModel
+
+__all__ = ["DelayBreakdown", "CommunicationDelayModel"]
+
+
+@dataclass(frozen=True)
+class DelayBreakdown:
+    """Cdelay decomposed into its two additive parts."""
+
+    shipping_s: float
+    transmission_s: float
+
+    @property
+    def total_s(self) -> float:
+        """``Tship + Ttx``."""
+        return self.shipping_s + self.transmission_s
+
+
+class CommunicationDelayModel:
+    """Evaluates ``Cdelay(d)`` for a given throughput law."""
+
+    def __init__(
+        self,
+        throughput: ThroughputModel,
+        min_distance_m: float = 20.0,
+    ) -> None:
+        if min_distance_m <= 0:
+            raise ValueError("min_distance_m must be positive")
+        self.throughput = throughput
+        self.min_distance_m = min_distance_m
+
+    # ------------------------------------------------------------------
+    def validate_distance(self, distance_m: float, contact_distance_m: float) -> None:
+        """Check ``min_distance <= d <= d0`` (with a small tolerance)."""
+        if contact_distance_m < self.min_distance_m:
+            raise ValueError(
+                f"contact distance {contact_distance_m} below the safety floor "
+                f"{self.min_distance_m}"
+            )
+        if not (self.min_distance_m - 1e-9 <= distance_m
+                <= contact_distance_m + 1e-9):
+            raise ValueError(
+                f"transmit distance {distance_m} outside "
+                f"[{self.min_distance_m}, {contact_distance_m}]"
+            )
+
+    def shipping_time_s(
+        self, distance_m: float, contact_distance_m: float, speed_mps: float
+    ) -> float:
+        """``Tship = (d0 - d) / v``."""
+        if speed_mps <= 0:
+            raise ValueError("speed must be positive")
+        self.validate_distance(distance_m, contact_distance_m)
+        return max(0.0, contact_distance_m - distance_m) / speed_mps
+
+    def transmission_time_s(self, distance_m: float, data_bits: float) -> float:
+        """``Ttx = Mdata / s(d)``."""
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        return data_bits / self.throughput.throughput_bps(distance_m)
+
+    def breakdown(
+        self,
+        distance_m: float,
+        contact_distance_m: float,
+        speed_mps: float,
+        data_bits: float,
+    ) -> DelayBreakdown:
+        """Both components at once."""
+        return DelayBreakdown(
+            shipping_s=self.shipping_time_s(
+                distance_m, contact_distance_m, speed_mps
+            ),
+            transmission_s=self.transmission_time_s(distance_m, data_bits),
+        )
+
+    def cdelay_s(
+        self,
+        distance_m: float,
+        contact_distance_m: float,
+        speed_mps: float,
+        data_bits: float,
+    ) -> float:
+        """``Cdelay(d) = Tship + Ttx``."""
+        return self.breakdown(
+            distance_m, contact_distance_m, speed_mps, data_bits
+        ).total_s

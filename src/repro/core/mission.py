@@ -1,0 +1,100 @@
+"""Sensing-mission geometry: cameras, image footprints, sector scans.
+
+The paper derives the traffic demand from the sensing task (footnotes
+3-4): a sector of area ``Asector`` is scanned with pictures whose
+ground footprint ``Aimage`` follows from the flying altitude and the
+camera's field of view, so
+
+``Mdata = Asector / Aimage * Mimage``.
+
+The diagonal field of view on the ground is ``FOV = 2 h tan(lens/2)``
+and for an aspect ratio ``k`` the footprint is
+``Aimage = (k FOV / sqrt(k^2+1)) * (FOV / sqrt(k^2+1))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CameraModel", "SectorMission", "JPG100_BYTES_PER_PIXEL"]
+
+#: JPEG at 100% quality, 24 bit/pixel, ~7.3:1 effective on-disk ratio —
+#: the paper's 1280x720 image weighs 0.39 MB.
+JPG100_BYTES_PER_PIXEL = 0.39e6 / (1280 * 720)
+
+
+@dataclass(frozen=True)
+class CameraModel:
+    """An onboard camera: resolution, aspect ratio and lens angle."""
+
+    width_px: int = 1280
+    height_px: int = 720
+    lens_angle_deg: float = 65.0
+    bytes_per_pixel: float = JPG100_BYTES_PER_PIXEL
+
+    def __post_init__(self) -> None:
+        if self.width_px <= 0 or self.height_px <= 0:
+            raise ValueError("resolution must be positive")
+        if not 0.0 < self.lens_angle_deg < 180.0:
+            raise ValueError("lens angle must be in (0, 180) degrees")
+        if self.bytes_per_pixel <= 0:
+            raise ValueError("bytes_per_pixel must be positive")
+
+    @property
+    def aspect_ratio(self) -> float:
+        """``k = width / height`` (16/9 for the paper's camera)."""
+        return self.width_px / self.height_px
+
+    @property
+    def image_bytes(self) -> float:
+        """Size of one stored picture (``Mimage``)."""
+        return self.width_px * self.height_px * self.bytes_per_pixel
+
+    def fov_m(self, altitude_m: float) -> float:
+        """Diagonal ground field of view at ``altitude_m``."""
+        if altitude_m <= 0:
+            raise ValueError("altitude must be positive")
+        return 2.0 * altitude_m * math.tan(math.radians(self.lens_angle_deg) / 2.0)
+
+    def image_footprint_m2(self, altitude_m: float) -> float:
+        """Ground area covered by one picture (``Aimage``)."""
+        fov = self.fov_m(altitude_m)
+        k = self.aspect_ratio
+        diag = math.sqrt(k * k + 1.0)
+        return (k * fov / diag) * (fov / diag)
+
+
+@dataclass(frozen=True)
+class SectorMission:
+    """One UAV's sensing responsibility: a sector scanned from altitude."""
+
+    sector_area_m2: float
+    altitude_m: float
+    camera: CameraModel = CameraModel()
+
+    def __post_init__(self) -> None:
+        if self.sector_area_m2 <= 0:
+            raise ValueError("sector area must be positive")
+        if self.altitude_m <= 0:
+            raise ValueError("altitude must be positive")
+
+    @property
+    def images_per_sector(self) -> float:
+        """``Asector / Aimage`` (fractional, as in the paper's algebra)."""
+        return self.sector_area_m2 / self.camera.image_footprint_m2(self.altitude_m)
+
+    @property
+    def data_bytes(self) -> float:
+        """``Mdata = Asector / Aimage * Mimage`` in bytes."""
+        return self.images_per_sector * self.camera.image_bytes
+
+    @property
+    def data_bits(self) -> float:
+        """``Mdata`` in bits (what the delay model consumes)."""
+        return self.data_bytes * 8.0
+
+    @property
+    def data_megabytes(self) -> float:
+        """``Mdata`` in MB, for comparison with the paper's 28 / 56.2."""
+        return self.data_bytes / 1e6

@@ -1,0 +1,136 @@
+"""Rendezvous planners built on the delayed-gratification optimiser.
+
+The paper assumes a central planner that knows every UAV's position
+and issues waypoints over the control channel.  Two planners ship:
+
+* :class:`RendezvousPlanner` — the paper's division of labour: the
+  receiver holds position, the data-carrying UAV ships to ``dopt``.
+* :class:`HolisticPlanner` — the discussion-section extension where
+  the planner may move *both* UAVs towards each other, halving the
+  shipping time for the same transmit distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo.coords import EnuPoint
+from ..geo.trajectory import Waypoint
+from .optimizer import DistanceOptimizer, OptimalDecision
+from .scenario import Scenario
+
+__all__ = ["RendezvousPlan", "RendezvousPlanner", "HolisticPlanner"]
+
+
+@dataclass(frozen=True)
+class RendezvousPlan:
+    """Waypoints realising an optimal-decision transfer."""
+
+    decision: OptimalDecision
+    sender_waypoint: Waypoint
+    receiver_waypoint: Waypoint
+
+
+def _point_between(
+    frm: EnuPoint, to: EnuPoint, distance_from_to_m: float
+) -> EnuPoint:
+    """The point on segment ``frm -> to`` at ``distance_from_to_m`` from ``to``."""
+    total = frm.distance_to(to)
+    if total <= 1e-9:
+        return to
+    frac = min(1.0, max(0.0, distance_from_to_m / total))
+    return EnuPoint(
+        to.east_m + (frm.east_m - to.east_m) * frac,
+        to.north_m + (frm.north_m - to.north_m) * frac,
+        to.up_m + (frm.up_m - to.up_m) * frac,
+    )
+
+
+class RendezvousPlanner:
+    """Receiver hovers; sender ships the data to the optimal distance."""
+
+    def __init__(self, scenario: Scenario, grid_step_m: float = 1.0) -> None:
+        self.scenario = scenario
+        self._optimizer = scenario.optimizer(grid_step_m)
+
+    def optimizer(self) -> DistanceOptimizer:
+        """The underlying optimiser (for inspection/ablations)."""
+        return self._optimizer
+
+    def plan(
+        self,
+        sender_position: EnuPoint,
+        receiver_position: EnuPoint,
+        data_bits: float | None = None,
+    ) -> RendezvousPlan:
+        """Compute dopt for the current geometry and emit waypoints."""
+        d0 = sender_position.distance_to(receiver_position)
+        d0 = max(d0, self.scenario.min_distance_m)
+        decision = self._optimizer.optimize(
+            d0,
+            self.scenario.cruise_speed_mps,
+            self.scenario.data_bits if data_bits is None else data_bits,
+        )
+        target = _point_between(
+            sender_position, receiver_position, decision.distance_m
+        )
+        return RendezvousPlan(
+            decision=decision,
+            sender_waypoint=Waypoint(
+                target,
+                hold_s=decision.transmission_s,
+                speed_mps=self.scenario.cruise_speed_mps,
+            ),
+            receiver_waypoint=Waypoint(
+                receiver_position, hold_s=decision.cdelay_s
+            ),
+        )
+
+
+class HolisticPlanner(RendezvousPlanner):
+    """Both UAVs close the gap, so the effective approach speed doubles.
+
+    The transmit distance solving Eq. 2 is found with the doubled
+    closing speed; each UAV then flies half of the approach.  This is
+    the "holistic planning approach integrating both movement types"
+    the paper expects to perform better.
+    """
+
+    def plan(
+        self,
+        sender_position: EnuPoint,
+        receiver_position: EnuPoint,
+        data_bits: float | None = None,
+    ) -> RendezvousPlan:
+        """Optimal plan with both vehicles moving towards each other."""
+        d0 = max(
+            sender_position.distance_to(receiver_position),
+            self.scenario.min_distance_m,
+        )
+        closing_speed = 2.0 * self.scenario.cruise_speed_mps
+        decision = self._optimizer.optimize(
+            d0,
+            closing_speed,
+            self.scenario.data_bits if data_bits is None else data_bits,
+        )
+        # Each side covers half of the (d0 - dopt) gap.
+        half_gap = (d0 - decision.distance_m) / 2.0
+        sender_target = _point_between(
+            sender_position, receiver_position, d0 - half_gap
+        )
+        receiver_target = _point_between(
+            receiver_position, sender_position, d0 - half_gap
+        )
+        return RendezvousPlan(
+            decision=decision,
+            sender_waypoint=Waypoint(
+                sender_target,
+                hold_s=decision.transmission_s,
+                speed_mps=self.scenario.cruise_speed_mps,
+            ),
+            receiver_waypoint=Waypoint(
+                receiver_target,
+                hold_s=decision.cdelay_s,
+                speed_mps=self.scenario.cruise_speed_mps,
+            ),
+        )

@@ -1,0 +1,140 @@
+"""The paper's two baseline scenarios (Section 4) as ready-made objects.
+
+* **Airplane**: Mdata = 28 MB, v = 10 m/s, rho = 1.11e-4 /m,
+  Asector = 500 x 500 m (scanned from 70 m altitude), d0 = 300 m,
+  s(d) = 1e6 (-5.56 log2 d + 49).
+* **Quadrocopter**: Mdata = 56.2 MB, v = 4.5 m/s, rho = 2.46e-4 /m,
+  Asector = 100 x 100 m (scanned from 10 m altitude), d0 = 100 m,
+  s(d) = 1e6 (-10.5 log2 d + 73).
+
+A scenario bundles everything the optimiser needs and exposes
+convenience constructors for the utility model and optimiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..airframe.platform import AIRPLANE, QUADROCOPTER, PlatformSpec
+from ..measurements.datasets import (
+    AIRPLANE_FIT,
+    MIN_SAFE_SEPARATION_M,
+    QUADROCOPTER_FIT,
+)
+from .delay import CommunicationDelayModel
+from .failure import ExponentialFailure, FailureModel
+from .mission import CameraModel, SectorMission
+from .optimizer import DistanceOptimizer, OptimalDecision
+from .throughput import LogFitThroughput, ThroughputModel
+from .utility import DelayedGratificationUtility
+
+__all__ = ["Scenario", "airplane_scenario", "quadrocopter_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified delayed-gratification problem instance."""
+
+    name: str
+    platform: PlatformSpec
+    throughput: ThroughputModel
+    mission: SectorMission
+    cruise_speed_mps: float
+    failure_rate_per_m: float
+    contact_distance_m: float
+    min_distance_m: float = MIN_SAFE_SEPARATION_M
+    #: Override of the mission-derived data size, bits (None = derive).
+    data_bits_override: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.cruise_speed_mps <= 0:
+            raise ValueError("cruise speed must be positive")
+        if self.failure_rate_per_m < 0:
+            raise ValueError("failure rate must be non-negative")
+        if self.contact_distance_m < self.min_distance_m:
+            raise ValueError("contact distance below the safety floor")
+
+    # ------------------------------------------------------------------
+    @property
+    def data_bits(self) -> float:
+        """``Mdata`` in bits (mission-derived unless overridden)."""
+        if self.data_bits_override is not None:
+            return self.data_bits_override
+        return self.mission.data_bits
+
+    @property
+    def data_megabytes(self) -> float:
+        """``Mdata`` in MB."""
+        return self.data_bits / 8e6
+
+    def with_data_megabytes(self, mdata_mb: float) -> "Scenario":
+        """A copy with the traffic demand overridden (Fig. 9 sweeps)."""
+        if mdata_mb <= 0:
+            raise ValueError("Mdata must be positive")
+        return replace(self, data_bits_override=mdata_mb * 8e6)
+
+    def with_speed(self, speed_mps: float) -> "Scenario":
+        """A copy with the cruise speed overridden (Fig. 9 sweeps)."""
+        return replace(self, cruise_speed_mps=speed_mps)
+
+    def with_failure_rate(self, rate_per_m: float) -> "Scenario":
+        """A copy with the failure rate overridden (Fig. 8 sweeps)."""
+        return replace(self, failure_rate_per_m=rate_per_m)
+
+    # ------------------------------------------------------------------
+    def delay_model(self) -> CommunicationDelayModel:
+        """The Cdelay model for this scenario."""
+        return CommunicationDelayModel(self.throughput, self.min_distance_m)
+
+    def failure_model(self) -> FailureModel:
+        """The paper's exponential failure model at this scenario's rho."""
+        return ExponentialFailure(self.failure_rate_per_m)
+
+    def utility_model(self) -> DelayedGratificationUtility:
+        """U(d) for this scenario."""
+        return DelayedGratificationUtility(self.delay_model(), self.failure_model())
+
+    def optimizer(self, grid_step_m: float = 1.0) -> DistanceOptimizer:
+        """A ready-to-run optimiser."""
+        return DistanceOptimizer(self.utility_model(), grid_step_m=grid_step_m)
+
+    def solve(self) -> OptimalDecision:
+        """dopt and its breakdown for the scenario's own parameters."""
+        return self.optimizer().optimize(
+            self.contact_distance_m, self.cruise_speed_mps, self.data_bits
+        )
+
+
+def airplane_scenario() -> Scenario:
+    """The paper's airplane baseline (Section 4)."""
+    return Scenario(
+        name="airplane",
+        platform=AIRPLANE,
+        throughput=LogFitThroughput(
+            AIRPLANE_FIT.slope_mbps_per_octave, AIRPLANE_FIT.intercept_mbps
+        ),
+        mission=SectorMission(
+            sector_area_m2=500.0 * 500.0, altitude_m=70.0, camera=CameraModel()
+        ),
+        cruise_speed_mps=10.0,
+        failure_rate_per_m=1.11e-4,
+        contact_distance_m=300.0,
+    )
+
+
+def quadrocopter_scenario() -> Scenario:
+    """The paper's quadrocopter baseline (Section 4)."""
+    return Scenario(
+        name="quadrocopter",
+        platform=QUADROCOPTER,
+        throughput=LogFitThroughput(
+            QUADROCOPTER_FIT.slope_mbps_per_octave, QUADROCOPTER_FIT.intercept_mbps
+        ),
+        mission=SectorMission(
+            sector_area_m2=100.0 * 100.0, altitude_m=10.0, camera=CameraModel()
+        ),
+        cruise_speed_mps=4.5,
+        failure_rate_per_m=2.46e-4,
+        contact_distance_m=100.0,
+    )

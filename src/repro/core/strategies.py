@@ -1,0 +1,284 @@
+"""Transfer strategies: 'hover and transmit', 'move and transmit', mixed.
+
+These produce the delivered-data-vs-time curves of Figure 1 and the
+delivered-fraction-under-failure comparison of Figure 2:
+
+* :class:`HoverAndTransmit` — fly silently to a chosen distance, then
+  transmit at the stationary rate ``s(d)``.  ``d = d0`` is the
+  'transmit now' strategy.
+* :class:`MoveAndTransmit` — transmit while approaching; the rate is
+  the speed-degraded ``s(d(t), v)``, which is why the paper finds this
+  strategy dominated.
+* :class:`MixedStrategy` — transmit while approaching down to a stop
+  distance, then hover there; generalises both (the extension the
+  paper sketches in Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .failure import FailureModel
+from .throughput import ThroughputModel
+
+__all__ = [
+    "StrategyOutcome",
+    "HoverAndTransmit",
+    "MoveAndTransmit",
+    "MixedStrategy",
+    "transmit_now",
+]
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """The complete timeline of one strategy execution.
+
+    ``times_s`` / ``delivered_bits`` sample the cumulative delivery
+    curve from contact (t=0) to completion; ``distance_m`` is the
+    sender-receiver separation at each sample.
+    """
+
+    name: str
+    completion_time_s: float
+    times_s: np.ndarray
+    delivered_bits: np.ndarray
+    distance_m: np.ndarray
+    data_bits: float
+
+    def delivered_bits_at(self, t_s: float) -> float:
+        """Cumulative bits delivered by time ``t_s`` (clamped)."""
+        return float(np.interp(t_s, self.times_s, self.delivered_bits))
+
+    def delivered_fraction_at(self, t_s: float) -> float:
+        """Fraction of the batch delivered by ``t_s``."""
+        return self.delivered_bits_at(t_s) / self.data_bits
+
+    def distance_at(self, t_s: float) -> float:
+        """Sender-receiver distance at ``t_s`` (clamped)."""
+        return float(np.interp(t_s, self.times_s, self.distance_m))
+
+    def expected_delivered_fraction(
+        self, failure_model: FailureModel, speed_mps: float
+    ) -> float:
+        """Mean delivered fraction when the UAV may fail mid-plan.
+
+        Failures strike per metre flown (the paper's hazard is in
+        distance); delivery already made is kept — exactly the Fig. 2
+        scenario where a crashed UAV has still delivered 70% of the
+        batch.  Computed by integrating the delivery curve against the
+        failure density over the *moving* portions of the plan, plus
+        the survival case.
+        """
+        total_distance = float(self.distance_m[0] - self.distance_m[-1])
+        survive_all = failure_model.survival_probability(max(0.0, total_distance))
+        expected = survive_all * self.delivered_bits[-1] / self.data_bits
+        # Discretise the failure location over the flight path.
+        travelled = self.distance_m[0] - self.distance_m
+        for i in range(1, len(self.times_s)):
+            p_fail_segment = failure_model.survival_probability(
+                float(travelled[i - 1])
+            ) - failure_model.survival_probability(float(travelled[i]))
+            if p_fail_segment <= 0:
+                continue
+            frac = float(self.delivered_bits[i - 1]) / self.data_bits
+            expected += p_fail_segment * frac
+        return min(1.0, expected)
+
+
+def _finalize(
+    name: str,
+    times: list,
+    delivered: list,
+    distances: list,
+    data_bits: float,
+) -> StrategyOutcome:
+    return StrategyOutcome(
+        name=name,
+        completion_time_s=times[-1],
+        times_s=np.asarray(times),
+        delivered_bits=np.asarray(delivered),
+        distance_m=np.asarray(distances),
+        data_bits=data_bits,
+    )
+
+
+class HoverAndTransmit:
+    """Ship silently to ``transmit_distance_m``, then hover and transmit."""
+
+    def __init__(self, throughput: ThroughputModel, transmit_distance_m: float) -> None:
+        if transmit_distance_m <= 0:
+            raise ValueError("transmit distance must be positive")
+        self.throughput = throughput
+        self.transmit_distance_m = transmit_distance_m
+
+    def execute(
+        self,
+        contact_distance_m: float,
+        speed_mps: float,
+        data_bits: float,
+        sample_interval_s: float = 0.1,
+    ) -> StrategyOutcome:
+        """Analytic timeline: a shipping ramp then a constant-rate line."""
+        d_tx = self.transmit_distance_m
+        if d_tx > contact_distance_m + 1e-9:
+            raise ValueError(
+                f"transmit distance {d_tx} beyond contact distance "
+                f"{contact_distance_m} (moving away never helps)"
+            )
+        if speed_mps <= 0:
+            raise ValueError("speed must be positive")
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        ship_time = (contact_distance_m - d_tx) / speed_mps
+        rate = self.throughput.throughput_bps(d_tx)
+        tx_time = data_bits / rate
+        total = ship_time + tx_time
+        # Cap the timeline at ~2000 samples so degenerate cases (fits
+        # clamped at the throughput floor) stay tractable.
+        sample_interval_s = max(sample_interval_s, total / 2000.0)
+
+        times = [0.0]
+        delivered = [0.0]
+        distances = [contact_distance_m]
+        t = sample_interval_s
+        while t < total:
+            if t <= ship_time:
+                d_now = contact_distance_m - speed_mps * t
+                got = 0.0
+            else:
+                d_now = d_tx
+                got = min(data_bits, (t - ship_time) * rate)
+            times.append(t)
+            delivered.append(got)
+            distances.append(d_now)
+            t += sample_interval_s
+        times.append(total)
+        delivered.append(data_bits)
+        distances.append(d_tx)
+        return _finalize(
+            f"hover-and-transmit(d={d_tx:g}m)", times, delivered, distances, data_bits
+        )
+
+
+def transmit_now(
+    throughput: ThroughputModel,
+    contact_distance_m: float,
+    speed_mps: float,
+    data_bits: float,
+    sample_interval_s: float = 0.1,
+) -> StrategyOutcome:
+    """The 'transmit immediately at d0' strategy (no shipping leg)."""
+    return HoverAndTransmit(throughput, contact_distance_m).execute(
+        contact_distance_m, speed_mps, data_bits, sample_interval_s
+    )
+
+
+class MixedStrategy:
+    """Transmit while approaching, then hover at ``stop_distance_m``.
+
+    The integration uses the speed-degraded throughput
+    ``throughput_bps_moving(d, v)`` during the approach, which is what
+    makes pure 'move and transmit' lose to waiting in the paper's
+    measurements.
+    """
+
+    def __init__(
+        self,
+        throughput: ThroughputModel,
+        stop_distance_m: float,
+        integration_step_s: float = 0.05,
+    ) -> None:
+        if stop_distance_m <= 0:
+            raise ValueError("stop distance must be positive")
+        if integration_step_s <= 0:
+            raise ValueError("integration step must be positive")
+        self.throughput = throughput
+        self.stop_distance_m = stop_distance_m
+        self.integration_step_s = integration_step_s
+
+    def execute(
+        self,
+        contact_distance_m: float,
+        speed_mps: float,
+        data_bits: float,
+    ) -> StrategyOutcome:
+        """Numerically integrated delivery curve of the mixed plan."""
+        if self.stop_distance_m > contact_distance_m + 1e-9:
+            raise ValueError("stop distance beyond contact distance")
+        if speed_mps <= 0:
+            raise ValueError("speed must be positive")
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        # Bound the step count: the approach phase needs at most the
+        # flight time over the step, and degenerate floors must not
+        # explode the timeline.
+        approach_s = (contact_distance_m - self.stop_distance_m) / speed_mps
+        dt = max(self.integration_step_s, approach_s / 2000.0)
+        times = [0.0]
+        delivered = [0.0]
+        distances = [contact_distance_m]
+        t = 0.0
+        d = contact_distance_m
+        got = 0.0
+        # Phase 1: move and transmit.
+        while d > self.stop_distance_m + 1e-9 and got < data_bits:
+            rate = self.throughput.throughput_bps_moving(d, speed_mps)
+            step_end_d = max(self.stop_distance_m, d - speed_mps * dt)
+            step_dt = (d - step_end_d) / speed_mps if speed_mps > 0 else dt
+            if step_dt <= 0:
+                break
+            got = min(data_bits, got + rate * step_dt)
+            t += step_dt
+            d = step_end_d
+            times.append(t)
+            delivered.append(got)
+            distances.append(d)
+        # Phase 2: hover at the stop distance until done.
+        if got < data_bits:
+            rate = self.throughput.throughput_bps(d)
+            remaining = (data_bits - got) / rate
+            t += remaining
+            got = data_bits
+            times.append(t)
+            delivered.append(got)
+            distances.append(d)
+        return _finalize(
+            f"mixed(stop={self.stop_distance_m:g}m)",
+            times,
+            delivered,
+            distances,
+            data_bits,
+        )
+
+
+class MoveAndTransmit(MixedStrategy):
+    """Pure 'move and transmit': approach to the safety floor while sending."""
+
+    def __init__(
+        self,
+        throughput: ThroughputModel,
+        min_distance_m: float = 20.0,
+        integration_step_s: float = 0.05,
+    ) -> None:
+        super().__init__(throughput, min_distance_m, integration_step_s)
+
+    def execute(
+        self,
+        contact_distance_m: float,
+        speed_mps: float,
+        data_bits: float,
+    ) -> StrategyOutcome:
+        """Same as the mixed plan with the stop at the safety floor."""
+        outcome = super().execute(contact_distance_m, speed_mps, data_bits)
+        return StrategyOutcome(
+            name="move-and-transmit",
+            completion_time_s=outcome.completion_time_s,
+            times_s=outcome.times_s,
+            delivered_bits=outcome.delivered_bits,
+            distance_m=outcome.distance_m,
+            data_bits=outcome.data_bits,
+        )

@@ -1,0 +1,98 @@
+"""The delayed-gratification utility ``U(d) = delta(d) * u(d)`` (paper Eq. 1).
+
+* ``u(d) = 1 / Cdelay(d)`` — the instantaneous utility: with infinite
+  lifetime the UAV simply minimises the communication delay.
+* ``delta(d) = exp(-rho (d0 - d))`` — the reward discount: the chance
+  of surviving the flight from the contact distance ``d0`` to the
+  transmit distance ``d``.
+
+``U`` is what Figure 8 plots and what the optimiser maximises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .delay import CommunicationDelayModel
+from .failure import FailureModel
+
+__all__ = ["UtilityBreakdown", "DelayedGratificationUtility"]
+
+
+@dataclass(frozen=True)
+class UtilityBreakdown:
+    """U(d) with its factors and the underlying delay terms."""
+
+    distance_m: float
+    utility: float
+    instantaneous_utility: float
+    discount: float
+    cdelay_s: float
+    shipping_s: float
+    transmission_s: float
+
+
+class DelayedGratificationUtility:
+    """Evaluates the paper's utility for one (d0, v, Mdata) instance."""
+
+    def __init__(
+        self,
+        delay_model: CommunicationDelayModel,
+        failure_model: FailureModel,
+    ) -> None:
+        self.delay_model = delay_model
+        self.failure_model = failure_model
+
+    def discount(self, distance_m: float, contact_distance_m: float) -> float:
+        """``delta(d)``: survival probability of the approach leg."""
+        self.delay_model.validate_distance(distance_m, contact_distance_m)
+        travelled = max(0.0, contact_distance_m - distance_m)
+        return self.failure_model.survival_probability(travelled)
+
+    def instantaneous(
+        self,
+        distance_m: float,
+        contact_distance_m: float,
+        speed_mps: float,
+        data_bits: float,
+    ) -> float:
+        """``u(d) = 1 / Cdelay(d)``."""
+        cdelay = self.delay_model.cdelay_s(
+            distance_m, contact_distance_m, speed_mps, data_bits
+        )
+        return 1.0 / cdelay
+
+    def utility(
+        self,
+        distance_m: float,
+        contact_distance_m: float,
+        speed_mps: float,
+        data_bits: float,
+    ) -> float:
+        """``U(d) = delta(d) * u(d)`` (Eq. 1)."""
+        return self.discount(distance_m, contact_distance_m) * self.instantaneous(
+            distance_m, contact_distance_m, speed_mps, data_bits
+        )
+
+    def breakdown(
+        self,
+        distance_m: float,
+        contact_distance_m: float,
+        speed_mps: float,
+        data_bits: float,
+    ) -> UtilityBreakdown:
+        """Everything Figure 8 needs about one point of the curve."""
+        parts = self.delay_model.breakdown(
+            distance_m, contact_distance_m, speed_mps, data_bits
+        )
+        discount = self.discount(distance_m, contact_distance_m)
+        u_inst = 1.0 / parts.total_s
+        return UtilityBreakdown(
+            distance_m=distance_m,
+            utility=discount * u_inst,
+            instantaneous_utility=u_inst,
+            discount=discount,
+            cdelay_s=parts.total_s,
+            shipping_s=parts.shipping_s,
+            transmission_s=parts.transmission_s,
+        )

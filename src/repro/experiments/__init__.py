@@ -1,0 +1,43 @@
+"""Regenerators for every table and figure of the paper.
+
+Each submodule exposes ``run(...) -> ExperimentReport``; ``run_all``
+executes the full evaluation (slow — minutes) and returns the reports
+in paper order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import fig1, fig2, fig4, fig5, fig6, fig7, fig8, fig9, table1
+from .base import ExperimentReport, format_table
+
+__all__ = [
+    "ExperimentReport",
+    "format_table",
+    "fig1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table1",
+    "run_all",
+]
+
+
+def run_all() -> List[ExperimentReport]:
+    """Regenerate every table and figure (paper order)."""
+    return [
+        fig1.run(),
+        fig2.run(),
+        table1.run(),
+        fig4.run(),
+        fig5.run(),
+        fig6.run(),
+        fig7.run(),
+        fig8.run(),
+        fig9.run(),
+    ]

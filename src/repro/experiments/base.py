@@ -1,0 +1,57 @@
+"""Shared infrastructure for the experiment regenerators.
+
+Every experiment module exposes ``run(...) -> ExperimentReport``.  The
+report carries both machine-readable ``data`` (asserted on by the test
+suite) and formatted ``lines`` (printed by the benchmark harness next
+to the paper's values, feeding EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ExperimentReport", "format_table"]
+
+
+@dataclass
+class ExperimentReport:
+    """The regenerated content of one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    lines: List[str] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, line: str = "") -> None:
+        """Append one formatted output line."""
+        self.lines.append(line)
+
+    def extend(self, lines: Sequence[str]) -> None:
+        """Append several formatted output lines."""
+        self.lines.extend(lines)
+
+    def as_text(self) -> str:
+        """The full printable report."""
+        header = f"=== {self.experiment_id}: {self.title} ==="
+        return "\n".join([header, *self.lines])
+
+    def print(self) -> None:
+        """Print the report to stdout (benchmark harness hook)."""
+        print(self.as_text())
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], width: int = 10
+) -> List[str]:
+    """Fixed-width text table used across the reports."""
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3g}"
+        return str(value)
+
+    lines = [" ".join(f"{h:>{width}}" for h in headers)]
+    lines.append(" ".join("-" * width for _ in headers))
+    for row in rows:
+        lines.append(" ".join(f"{fmt(v):>{width}}" for v in row))
+    return lines

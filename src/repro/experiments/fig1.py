@@ -1,0 +1,175 @@
+"""Figure 1 — transmitted data vs time for the candidate strategies.
+
+One quadrocopter, initially 80 m from a hovering peer, must deliver
+20 MB.  Strategies: transmit immediately at 80 m; move to d in
+{60, 40, 20} m and transmit there; or transmit while moving.  The paper
+observes that waiting until d = 60 m wins, that the d = 60 m curve
+crosses the d = 80 m curve at roughly 15 MB, and that 'moving' loses to
+everything.
+
+The replay uses the transfer rates digitised from the figure
+(:mod:`repro.measurements.datasets`), driven through the analytic
+strategy engine.  A stochastic replay over the full simulated link is
+available via ``run_simulated``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..channel.channel import AerialChannel, quadrocopter_profile
+from ..core.strategies import HoverAndTransmit, MoveAndTransmit, StrategyOutcome
+from ..core.throughput import TableThroughput
+from ..measurements.datasets import (
+    FIG1_APPROACH_SPEED_MPS,
+    FIG1_CROSSOVER_MB,
+    FIG1_DATA_MB,
+    FIG1_HOVER_RATES_MBPS,
+    FIG1_MOVING_RATE_MBPS,
+    FIG1_START_DISTANCE_M,
+)
+from ..net.link import WirelessLink
+from ..net.packets import ImageBatch
+from ..net.udp import UdpTransfer
+from ..phy.rate_control import ArfController
+from ..sim.random import RandomStreams
+from .base import ExperimentReport, format_table
+
+__all__ = ["run", "run_simulated", "crossover_mb"]
+
+
+def _fig1_throughput_model() -> TableThroughput:
+    table = {float(d): r * 1e6 for d, r in FIG1_HOVER_RATES_MBPS.items()}
+    # Effective speed scale making the approach rate match the digitised
+    # 'moving' curve at mid-range.
+    mid_rate = FIG1_HOVER_RATES_MBPS[60] * 1e6
+    scale = FIG1_APPROACH_SPEED_MPS / np.log(mid_rate / (FIG1_MOVING_RATE_MBPS * 1e6))
+    return TableThroughput(table, speed_scale_mps=float(scale))
+
+
+def crossover_mb(
+    distance_far_m: float = 80.0, distance_near_m: float = 60.0
+) -> float:
+    """Data size where moving to ``distance_near_m`` starts paying off.
+
+    Solves ``M/s(far) = Tship + M/s(near)`` for M, in megabytes.
+    """
+    model = _fig1_throughput_model()
+    s_far = model.throughput_bps(distance_far_m)
+    s_near = model.throughput_bps(distance_near_m)
+    if s_near <= s_far:
+        raise ValueError("no crossover: the nearer rate is not higher")
+    ship_s = (distance_far_m - distance_near_m) / FIG1_APPROACH_SPEED_MPS
+    m_bits = ship_s / (1.0 / s_far - 1.0 / s_near)
+    return m_bits / 8e6
+
+
+def run(data_mb: float = FIG1_DATA_MB) -> ExperimentReport:
+    """Regenerate the Fig. 1 curves analytically from the digitised rates."""
+    model = _fig1_throughput_model()
+    data_bits = data_mb * 8e6
+    d0 = FIG1_START_DISTANCE_M
+    v = FIG1_APPROACH_SPEED_MPS
+
+    outcomes: Dict[str, StrategyOutcome] = {}
+    for d in (20.0, 40.0, 60.0, 80.0):
+        outcomes[f"d={int(d)}"] = HoverAndTransmit(model, d).execute(
+            d0, v, data_bits
+        )
+    outcomes["moving"] = MoveAndTransmit(model, min_distance_m=10.0).execute(
+        d0, v, data_bits
+    )
+
+    completion = {name: o.completion_time_s for name, o in outcomes.items()}
+    winner = min(completion, key=completion.get)
+    cross = crossover_mb()
+
+    report = ExperimentReport(
+        "fig1",
+        "Transmitted data vs time, 20 MB from 80 m (quadrocopters)",
+    )
+    rows = []
+    grid = [1.0, 2.0, 4.0, 6.0, 8.0]
+    for name, outcome in outcomes.items():
+        delivered = [outcome.delivered_bits_at(t) / 8e6 for t in grid]
+        rows.append([name, *(f"{mb:.1f}" for mb in delivered),
+                     f"{outcome.completion_time_s:.1f}"])
+    report.extend(
+        format_table(
+            ["strategy", *(f"MB@{t:g}s" for t in grid), "done(s)"], rows
+        )
+    )
+    report.add()
+    report.add(f"winning strategy: {winner} (paper: d=60)")
+    report.add(
+        f"d=80 vs d=60 crossover: {cross:.1f} MB (paper: ~{FIG1_CROSSOVER_MB:.0f} MB)"
+    )
+    report.data = {
+        "completion_s": completion,
+        "winner": winner,
+        "crossover_mb": cross,
+        "outcomes": outcomes,
+    }
+    return report
+
+
+def run_simulated(
+    data_mb: float = FIG1_DATA_MB, seed: int = 7
+) -> ExperimentReport:
+    """Replay Fig. 1 stochastically over the simulated quadrocopter link.
+
+    Each strategy runs as an actual UDP transfer through the channel /
+    PHY / MAC stack; the shipping leg of a hover strategy is silent.
+    """
+    d0 = FIG1_START_DISTANCE_M
+    v = FIG1_APPROACH_SPEED_MPS
+    data_bytes = int(data_mb * 1e6)
+    completion: Dict[str, float] = {}
+
+    def make_link(salt: int) -> WirelessLink:
+        streams = RandomStreams(seed).fork(salt)
+        return WirelessLink(
+            AerialChannel(quadrocopter_profile(), streams),
+            ArfController(),
+            streams=streams,
+        )
+
+    for i, d in enumerate((20.0, 40.0, 60.0, 80.0)):
+        link = make_link(i + 1)
+        ship_s = (d0 - d) / v
+        transfer = UdpTransfer(link, ImageBatch(i, data_bytes))
+        end = transfer.run(ship_s, lambda t, d=d: d, deadline_s=ship_s + 600.0)
+        completion[f"d={int(d)}"] = end
+
+    link = make_link(99)
+    transfer = UdpTransfer(link, ImageBatch(99, data_bytes))
+
+    def distance_moving(t: float) -> float:
+        return max(20.0, d0 - v * t)
+
+    def speed_moving(t: float) -> float:
+        return v if distance_moving(t) > 20.0 else 0.0
+
+    completion["moving"] = transfer.run(
+        0.0, distance_moving, speed_moving, deadline_s=600.0
+    )
+
+    winner = min(completion, key=completion.get)
+    report = ExperimentReport(
+        "fig1-simulated",
+        "Fig. 1 replayed over the full simulated 802.11n link",
+    )
+    rows = [[name, f"{t:.1f}"] for name, t in sorted(completion.items())]
+    report.extend(format_table(["strategy", "done(s)"], rows))
+    report.add(f"winning strategy: {winner}")
+    report.add(
+        "note: on the fit-calibrated channel the best hover distance is "
+        "the 20 m floor (the paper's fit, unlike its Fig. 1 day, has no "
+        "mid-range sweet spot), and the mixed 'transmit while moving "
+        "then hover' plan lands within a second of it — the improvement "
+        "the paper's Section 2.2 anticipates from mixed strategies."
+    )
+    report.data = {"completion_s": completion, "winner": winner}
+    return report

@@ -1,0 +1,38 @@
+"""Table 1 — main features of the two flying platforms."""
+
+from __future__ import annotations
+
+from ..airframe.platform import AIRPLANE, QUADROCOPTER
+from .base import ExperimentReport, format_table
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentReport:
+    """Regenerate Table 1 from the platform registry."""
+    rows = [
+        ["Hovering", "No" if not AIRPLANE.can_hover else "Yes",
+         "Yes" if QUADROCOPTER.can_hover else "No"],
+        ["Size", AIRPLANE.size_description, QUADROCOPTER.size_description],
+        ["Weight", f"{AIRPLANE.weight_kg * 1000:.0f} g",
+         f"{QUADROCOPTER.weight_kg:.1f} kg"],
+        ["Battery autonomy", f"{AIRPLANE.battery_autonomy_s / 60:.0f} minutes",
+         f"{QUADROCOPTER.battery_autonomy_s / 60:.0f} minutes"],
+        ["Cruise speed", f"{AIRPLANE.cruise_speed_mps:.0f} m/s",
+         f"{QUADROCOPTER.cruise_speed_mps:.1f} m/s in auto mode"],
+        ["Max safe altitude", f"{AIRPLANE.max_safe_altitude_m:.0f} m",
+         f"{QUADROCOPTER.max_safe_altitude_m:.0f} m"],
+    ]
+    report = ExperimentReport("table1", "Main features of the flying platforms")
+    report.extend(format_table(["Feature", "Airplane", "Quadrocopter"], rows, width=24))
+    report.add()
+    report.add(
+        "derived: airplane battery range "
+        f"{AIRPLANE.battery_range_m / 1000:.0f} km, quadrocopter "
+        f"{QUADROCOPTER.battery_range_m / 1000:.1f} km"
+    )
+    report.data = {
+        "airplane": AIRPLANE,
+        "quadrocopter": QUADROCOPTER,
+    }
+    return report

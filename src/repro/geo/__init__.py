@@ -1,0 +1,28 @@
+"""Coordinates, Haversine distances, trajectories and GPS modelling."""
+
+from .coords import EARTH_RADIUS_M, EnuPoint, GeoPoint, LocalFrame
+from .gps import GpsConfig, GpsReceiver
+from .haversine import haversine_m, slant_range_m
+from .trajectory import (
+    Trace,
+    TraceSample,
+    Waypoint,
+    relative_distance_series,
+    relative_speed_series,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "EnuPoint",
+    "GeoPoint",
+    "LocalFrame",
+    "GpsConfig",
+    "GpsReceiver",
+    "haversine_m",
+    "slant_range_m",
+    "Trace",
+    "TraceSample",
+    "Waypoint",
+    "relative_distance_series",
+    "relative_speed_series",
+]

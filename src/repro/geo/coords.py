@@ -1,0 +1,95 @@
+"""Geodetic and local Cartesian coordinates.
+
+The testbed computed UAV separation by applying the Haversine formula
+to GPS fixes.  We mirror that: simulated flights run in a local
+east-north-up (ENU) frame anchored at the field's reference point, and
+positions are converted to latitude/longitude when a "GPS" reading is
+produced, then back through Haversine when distances are measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["EARTH_RADIUS_M", "GeoPoint", "EnuPoint", "LocalFrame"]
+
+#: Mean Earth radius used by the Haversine formula (metres).
+EARTH_RADIUS_M = 6_371_000.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A geodetic position: latitude/longitude in degrees, altitude in metres."""
+
+    lat_deg: float
+    lon_deg: float
+    alt_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat_deg <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat_deg}")
+        if not -180.0 <= self.lon_deg <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon_deg}")
+
+
+@dataclass(frozen=True)
+class EnuPoint:
+    """A position in a local east-north-up frame (metres)."""
+
+    east_m: float
+    north_m: float
+    up_m: float = 0.0
+
+    def horizontal_distance_to(self, other: "EnuPoint") -> float:
+        """Ground-plane (2-D) distance to ``other`` in metres."""
+        return math.hypot(self.east_m - other.east_m, self.north_m - other.north_m)
+
+    def distance_to(self, other: "EnuPoint") -> float:
+        """Full 3-D Euclidean distance to ``other`` in metres."""
+        return math.sqrt(
+            (self.east_m - other.east_m) ** 2
+            + (self.north_m - other.north_m) ** 2
+            + (self.up_m - other.up_m) ** 2
+        )
+
+    def offset(self, de: float, dn: float, du: float = 0.0) -> "EnuPoint":
+        """A new point displaced by (de, dn, du) metres."""
+        return EnuPoint(self.east_m + de, self.north_m + dn, self.up_m + du)
+
+    def bearing_to(self, other: "EnuPoint") -> float:
+        """Compass bearing (radians, 0 = north, clockwise) towards ``other``."""
+        return math.atan2(other.east_m - self.east_m, other.north_m - self.north_m)
+
+
+class LocalFrame:
+    """Conversion between geodetic coordinates and a local ENU frame.
+
+    Uses the equirectangular (small-area) approximation, which is
+    accurate to centimetres over the sub-kilometre fields the paper's
+    experiments used.
+    """
+
+    def __init__(self, origin: GeoPoint) -> None:
+        self.origin = origin
+        self._lat0 = math.radians(origin.lat_deg)
+        self._lon0 = math.radians(origin.lon_deg)
+        self._cos_lat0 = math.cos(self._lat0)
+        if abs(self._cos_lat0) < 1e-9:
+            raise ValueError("local frames at the poles are not supported")
+
+    def to_enu(self, point: GeoPoint) -> EnuPoint:
+        """Convert a geodetic ``point`` to the local ENU frame."""
+        dlat = math.radians(point.lat_deg) - self._lat0
+        dlon = math.radians(point.lon_deg) - self._lon0
+        north = dlat * EARTH_RADIUS_M
+        east = dlon * EARTH_RADIUS_M * self._cos_lat0
+        return EnuPoint(east, north, point.alt_m - self.origin.alt_m)
+
+    def to_geodetic(self, point: EnuPoint) -> GeoPoint:
+        """Convert a local ENU ``point`` back to geodetic coordinates."""
+        lat = self._lat0 + point.north_m / EARTH_RADIUS_M
+        lon = self._lon0 + point.east_m / (EARTH_RADIUS_M * self._cos_lat0)
+        return GeoPoint(
+            math.degrees(lat), math.degrees(lon), point.up_m + self.origin.alt_m
+        )

@@ -1,0 +1,84 @@
+"""GPS receiver model: fixes with realistic noise.
+
+The testbed's u-blox class receivers show a horizontal error of a few
+metres and a somewhat larger vertical error.  The model adds first-order
+Gauss-Markov (exponentially correlated) noise, the standard model for
+consumer GPS wander, so consecutive fixes are correlated as in real logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .coords import EnuPoint, GeoPoint, LocalFrame
+
+__all__ = ["GpsConfig", "GpsReceiver"]
+
+
+@dataclass(frozen=True)
+class GpsConfig:
+    """Error parameters of a consumer-grade GPS receiver."""
+
+    horizontal_sigma_m: float = 2.5
+    vertical_sigma_m: float = 4.0
+    #: Correlation time of the Gauss-Markov error process (seconds).
+    correlation_time_s: float = 30.0
+    #: Fix rate (Hz).
+    rate_hz: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.horizontal_sigma_m < 0 or self.vertical_sigma_m < 0:
+            raise ValueError("GPS sigmas must be non-negative")
+        if self.correlation_time_s <= 0:
+            raise ValueError("correlation_time_s must be positive")
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+
+
+class GpsReceiver:
+    """Produces noisy geodetic fixes from true ENU positions."""
+
+    def __init__(
+        self,
+        frame: LocalFrame,
+        rng: np.random.Generator,
+        config: GpsConfig = GpsConfig(),
+    ) -> None:
+        self._frame = frame
+        self._rng = rng
+        self.config = config
+        self._error = np.zeros(3)
+        self._last_time: float | None = None
+
+    def fix(self, time_s: float, true_position: EnuPoint) -> GeoPoint:
+        """Return a noisy geodetic fix for ``true_position`` at ``time_s``."""
+        self._advance_error(time_s)
+        noisy = EnuPoint(
+            true_position.east_m + self._error[0],
+            true_position.north_m + self._error[1],
+            true_position.up_m + self._error[2],
+        )
+        return self._frame.to_geodetic(noisy)
+
+    def _advance_error(self, time_s: float) -> None:
+        cfg = self.config
+        sigmas = np.array(
+            [
+                cfg.horizontal_sigma_m / math.sqrt(2.0),
+                cfg.horizontal_sigma_m / math.sqrt(2.0),
+                cfg.vertical_sigma_m,
+            ]
+        )
+        if self._last_time is None:
+            self._error = self._rng.normal(0.0, sigmas)
+        else:
+            dt = max(0.0, time_s - self._last_time)
+            # First-order Gauss-Markov update: exponential decay towards 0
+            # plus driving noise scaled to keep the stationary variance.
+            alpha = math.exp(-dt / cfg.correlation_time_s)
+            drive = sigmas * math.sqrt(max(0.0, 1.0 - alpha * alpha))
+            self._error = alpha * self._error + self._rng.normal(0.0, 1.0, 3) * drive
+        self._last_time = time_s

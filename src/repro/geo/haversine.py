@@ -1,0 +1,36 @@
+"""Great-circle distances on GPS coordinates.
+
+The paper measures inter-UAV distance "applying the Haversine formula
+to GPS coordinates" (Section 3.1).  :func:`haversine_m` is that formula;
+:func:`slant_range_m` additionally accounts for the altitude difference,
+which matters for the airplane tests flown at 80 m vs 100 m.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .coords import EARTH_RADIUS_M, GeoPoint
+
+__all__ = ["haversine_m", "slant_range_m"]
+
+
+def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle (ground) distance between two geodetic points in metres."""
+    lat1 = math.radians(a.lat_deg)
+    lat2 = math.radians(b.lat_deg)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.lon_deg - a.lon_deg)
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    # Clamp to guard against floating-point overshoot for antipodal points.
+    h = min(1.0, max(0.0, h))
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(h))
+
+
+def slant_range_m(a: GeoPoint, b: GeoPoint) -> float:
+    """3-D separation: Haversine ground distance combined with altitude delta."""
+    ground = haversine_m(a, b)
+    return math.hypot(ground, b.alt_m - a.alt_m)

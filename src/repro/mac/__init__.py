@@ -1,0 +1,30 @@
+"""802.11 MAC: DCF timing, A-MPDU aggregation, block acknowledgements."""
+
+from .aggregation import AmpduConfig, AmpduLink, BurstOutcome
+from .blockack import BlockAckScoreboard
+from .dcf import DcfTiming, legacy_frame_duration_s
+from .frames import (
+    AMPDU_DELIMITER_BYTES,
+    BLOCK_ACK_BYTES,
+    FCS_BYTES,
+    IP_UDP_HEADER_BYTES,
+    LLC_SNAP_BYTES,
+    MAC_HEADER_BYTES,
+    MpduLayout,
+)
+
+__all__ = [
+    "AmpduConfig",
+    "AmpduLink",
+    "BurstOutcome",
+    "BlockAckScoreboard",
+    "DcfTiming",
+    "legacy_frame_duration_s",
+    "AMPDU_DELIMITER_BYTES",
+    "BLOCK_ACK_BYTES",
+    "FCS_BYTES",
+    "IP_UDP_HEADER_BYTES",
+    "LLC_SNAP_BYTES",
+    "MAC_HEADER_BYTES",
+    "MpduLayout",
+]

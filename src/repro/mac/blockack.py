@@ -1,0 +1,82 @@
+"""Block acknowledgement scoreboard.
+
+Tracks which MPDU sequence numbers of a transmit window have been
+acknowledged, providing the selective-repeat semantics that make
+A-MPDU retransmissions cheap.  The airtime model in
+:mod:`repro.mac.aggregation` uses expected values; this class backs the
+packet-accurate transfer engine and its tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+__all__ = ["BlockAckScoreboard"]
+
+
+class BlockAckScoreboard:
+    """Selective-repeat window over MPDU sequence numbers."""
+
+    def __init__(self, window_size: int = 64) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.window_size = window_size
+        self._window_start = 0
+        self._acked: Set[int] = set()
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def window_start(self) -> int:
+        """Lowest unacknowledged sequence number."""
+        return self._window_start
+
+    @property
+    def in_flight_capacity(self) -> int:
+        """How many new sequence numbers fit into the window."""
+        return self.window_size - (self._next_seq - self._window_start)
+
+    def next_batch(self, count: int) -> List[int]:
+        """Allocate up to ``count`` sequence numbers for transmission.
+
+        Unacknowledged numbers inside the window are retransmitted
+        first; fresh numbers follow, bounded by the window.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        pending = [
+            seq
+            for seq in range(self._window_start, self._next_seq)
+            if seq not in self._acked
+        ]
+        batch = pending[:count]
+        while len(batch) < count and self.in_flight_capacity > 0:
+            batch.append(self._next_seq)
+            self._next_seq += 1
+        return batch
+
+    def acknowledge(self, sequences: Iterable[int]) -> int:
+        """Mark sequences acked; returns how many were newly acked.
+
+        Sequence numbers outside the current window are ignored (a
+        stale BlockAck), mirroring hardware behaviour.
+        """
+        newly = 0
+        for seq in sequences:
+            if seq < self._window_start or seq >= self._next_seq:
+                continue
+            if seq not in self._acked:
+                self._acked.add(seq)
+                newly += 1
+        self._slide()
+        return newly
+
+    def _slide(self) -> None:
+        while self._window_start in self._acked:
+            self._acked.discard(self._window_start)
+            self._window_start += 1
+
+    @property
+    def completed(self) -> int:
+        """Count of in-order-delivered MPDUs (window start)."""
+        return self._window_start

@@ -1,0 +1,64 @@
+"""Distributed coordination function timing (5 GHz OFDM PHY).
+
+Provides the inter-frame spaces and contention parameters the airtime
+model charges per A-MPDU exchange, plus the duration of legacy control
+responses (the BlockAck travels at a basic OFDM rate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["DcfTiming", "legacy_frame_duration_s"]
+
+# Legacy OFDM timing (5 GHz).
+LEGACY_PREAMBLE_S = 20e-6
+LEGACY_SYMBOL_S = 4e-6
+SERVICE_TAIL_BITS = 22
+
+
+def legacy_frame_duration_s(frame_bytes: int, rate_bps: float = 24e6) -> float:
+    """On-air time of a legacy (non-HT) OFDM frame, e.g. a BlockAck."""
+    if frame_bytes <= 0:
+        raise ValueError("frame_bytes must be positive")
+    if rate_bps <= 0:
+        raise ValueError("rate_bps must be positive")
+    bits = frame_bytes * 8 + SERVICE_TAIL_BITS
+    bits_per_symbol = rate_bps * LEGACY_SYMBOL_S
+    return LEGACY_PREAMBLE_S + math.ceil(bits / bits_per_symbol) * LEGACY_SYMBOL_S
+
+
+@dataclass(frozen=True)
+class DcfTiming:
+    """Contention timing for one access category (best effort defaults)."""
+
+    slot_s: float = 9e-6
+    sifs_s: float = 16e-6
+    cw_min: int = 15
+    cw_max: int = 1023
+
+    def __post_init__(self) -> None:
+        if self.slot_s <= 0 or self.sifs_s <= 0:
+            raise ValueError("slot and SIFS must be positive")
+        if not 0 < self.cw_min <= self.cw_max:
+            raise ValueError("need 0 < cw_min <= cw_max")
+
+    @property
+    def difs_s(self) -> float:
+        """DIFS = SIFS + 2 slots."""
+        return self.sifs_s + 2.0 * self.slot_s
+
+    def mean_backoff_s(self, retry: int = 0) -> float:
+        """Expected backoff before (re)transmission attempt ``retry``.
+
+        The contention window doubles per retry, capped at ``cw_max``.
+        """
+        if retry < 0:
+            raise ValueError("retry must be non-negative")
+        cw = min(self.cw_max, (self.cw_min + 1) * (2 ** retry) - 1)
+        return cw / 2.0 * self.slot_s
+
+    def exchange_overhead_s(self, retry: int = 0) -> float:
+        """DIFS + expected backoff charged before a data PPDU."""
+        return self.difs_s + self.mean_backoff_s(retry)

@@ -1,0 +1,61 @@
+"""Frame formats and size constants for the MAC model.
+
+Sizes follow 802.11-2012: a QoS-data MPDU carrying a UDP datagram costs
+MAC header (26 B with QoS control) + LLC/SNAP (8 B) + FCS (4 B) on top
+of the IP payload; inside an A-MPDU each subframe adds a 4 B delimiter
+and up to 3 B padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MAC_HEADER_BYTES",
+    "LLC_SNAP_BYTES",
+    "FCS_BYTES",
+    "AMPDU_DELIMITER_BYTES",
+    "BLOCK_ACK_BYTES",
+    "IP_UDP_HEADER_BYTES",
+    "MpduLayout",
+]
+
+MAC_HEADER_BYTES = 26
+LLC_SNAP_BYTES = 8
+FCS_BYTES = 4
+AMPDU_DELIMITER_BYTES = 4
+#: Compressed BlockAck frame body.
+BLOCK_ACK_BYTES = 32
+IP_UDP_HEADER_BYTES = 20 + 8
+
+
+@dataclass(frozen=True)
+class MpduLayout:
+    """Byte accounting for one MPDU carrying an application payload."""
+
+    app_payload_bytes: int = 1472
+
+    def __post_init__(self) -> None:
+        if self.app_payload_bytes <= 0:
+            raise ValueError("app_payload_bytes must be positive")
+
+    @property
+    def ip_packet_bytes(self) -> int:
+        """IP datagram size (UDP payload + IP/UDP headers)."""
+        return self.app_payload_bytes + IP_UDP_HEADER_BYTES
+
+    @property
+    def mpdu_bytes(self) -> int:
+        """Full MPDU size on air (headers + LLC + payload + FCS)."""
+        return MAC_HEADER_BYTES + LLC_SNAP_BYTES + self.ip_packet_bytes + FCS_BYTES
+
+    @property
+    def subframe_bytes(self) -> int:
+        """A-MPDU subframe size: MPDU + delimiter, padded to 4 bytes."""
+        raw = self.mpdu_bytes + AMPDU_DELIMITER_BYTES
+        return (raw + 3) // 4 * 4
+
+    @property
+    def efficiency(self) -> float:
+        """Application bytes per on-air subframe byte."""
+        return self.app_payload_bytes / self.subframe_bytes

@@ -1,0 +1,112 @@
+"""Values reported by the paper, for calibration and comparison.
+
+Everything here is transcribed from Asadpour et al., CoNEXT 2013 —
+either stated explicitly in the text (the throughput fits, the baseline
+scenario parameters) or digitised from the figures (the Fig. 1 transfer
+curves, the Fig. 6 best-MCS regions).  The benchmark harness prints
+these next to the simulated values so EXPERIMENTS.md can record
+paper-vs-measured for every table and figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "PaperLogFit",
+    "AIRPLANE_FIT",
+    "QUADROCOPTER_FIT",
+    "FIG1_HOVER_RATES_MBPS",
+    "FIG1_MOVING_RATE_MBPS",
+    "FIG1_APPROACH_SPEED_MPS",
+    "FIG1_DATA_MB",
+    "FIG1_START_DISTANCE_M",
+    "FIG1_CROSSOVER_MB",
+    "FIG5_DISTANCES_M",
+    "FIG6_DISTANCES_M",
+    "FIG6_BEST_MCS_REGIONS",
+    "FIG6_FIXED_CANDIDATES",
+    "FIG7_HOVER_DISTANCES_M",
+    "FIG7_MOVING_SPEED_MPS",
+    "FIG7_SPEED_SWEEP_MPS",
+    "FIG7_SPEED_SWEEP_DISTANCE_M",
+    "INDOOR_THROUGHPUT_MBPS",
+    "AIRPLANE_RELATIVE_SPEED_RANGE_MPS",
+    "MIN_SAFE_SEPARATION_M",
+]
+
+
+@dataclass(frozen=True)
+class PaperLogFit:
+    """A throughput-vs-distance fit ``s(d) = 1e6 (slope log2 d + intercept)``."""
+
+    slope_mbps_per_octave: float
+    intercept_mbps: float
+    r_squared: float
+
+    def throughput_bps(self, distance_m: float) -> float:
+        """Evaluate the fit (clamped at zero) in bit/s."""
+        if distance_m <= 0:
+            raise ValueError("distance must be positive")
+        mbps = self.slope_mbps_per_octave * math.log2(distance_m) + self.intercept_mbps
+        return max(0.0, mbps) * 1e6
+
+
+#: s_airplane(d) = 1e6 (-5.56 log2 d + 49), R^2 = 0.90 (paper Section 4).
+AIRPLANE_FIT = PaperLogFit(-5.56, 49.0, 0.90)
+
+#: s_quadrocopter(d) = 1e6 (-10.5 log2 d + 73), R^2 = 0.96 (paper Section 4).
+QUADROCOPTER_FIT = PaperLogFit(-10.5, 73.0, 0.96)
+
+# ----------------------------------------------------------------------
+# Figure 1 — the motivating experiment (quadrocopters, 20 MB at 80 m)
+# ----------------------------------------------------------------------
+
+#: Hover-and-transmit rates by transmit distance, digitised from Fig. 1.
+FIG1_HOVER_RATES_MBPS: Dict[int, float] = {20: 36.0, 40: 35.0, 60: 33.0, 80: 17.8}
+#: Throughput while approaching at ~8 m/s ('moving' curve of Fig. 1).
+FIG1_MOVING_RATE_MBPS = 8.5
+FIG1_APPROACH_SPEED_MPS = 8.0
+FIG1_DATA_MB = 20.0
+FIG1_START_DISTANCE_M = 80.0
+#: Data size at which 'd=60' starts beating 'd=80' (paper: ~15 MB).
+FIG1_CROSSOVER_MB = 15.0
+
+# ----------------------------------------------------------------------
+# Figures 5-7 — measurement campaigns
+# ----------------------------------------------------------------------
+
+#: Distance bins of the airplane throughput boxplots (Fig. 5).
+FIG5_DISTANCES_M: List[int] = list(range(20, 321, 20))
+
+#: Distance bins of the fixed-MCS comparison (Fig. 6).
+FIG6_DISTANCES_M: List[int] = list(range(20, 261, 20))
+
+#: Best fixed MCS per distance band (paper Fig. 6 narrative).
+FIG6_BEST_MCS_REGIONS: List[Tuple[int, int, int]] = [
+    (20, 160, 3),
+    (180, 220, 1),
+    (240, 260, 8),
+]
+
+#: The fixed rates the paper evaluated.
+FIG6_FIXED_CANDIDATES: List[int] = [1, 2, 3, 8]
+
+#: Distances of the quadrocopter hover tests (Fig. 7, left).
+FIG7_HOVER_DISTANCES_M: List[int] = [20, 40, 60, 80]
+#: Approach speed of the 'moving' tests (Fig. 7, centre).
+FIG7_MOVING_SPEED_MPS = 8.0
+#: Speeds of the cruise-speed sweep (Fig. 7, right).
+FIG7_SPEED_SWEEP_MPS: List[float] = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0]
+FIG7_SPEED_SWEEP_DISTANCE_M = 60.0
+
+#: The authors' indoor 802.11n reference (Section 3).
+INDOOR_THROUGHPUT_MBPS = 176.0
+
+#: Relative speeds observed between the airplanes (Section 3).
+AIRPLANE_RELATIVE_SPEED_RANGE_MPS = (15.0, 26.0)
+
+#: Collision-safety floor on inter-UAV distance (Section 4).
+MIN_SAFE_SEPARATION_M = 20.0

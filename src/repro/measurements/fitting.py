@@ -1,0 +1,77 @@
+"""Least-squares fitting of throughput-vs-distance measurements.
+
+The paper fits ``s(d) = a log2(d) + b`` (in Mb/s) to the median
+throughput per distance and reports the coefficient of determination.
+:func:`fit_log2` reproduces that procedure on simulated campaigns, so
+the pipeline campaign -> fit -> optimiser mirrors the paper end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Log2Fit", "fit_log2", "r_squared"]
+
+
+@dataclass(frozen=True)
+class Log2Fit:
+    """A fitted ``s(d) = slope log2(d) + intercept`` law (Mb/s)."""
+
+    slope_mbps_per_octave: float
+    intercept_mbps: float
+    r_squared: float
+    n_points: int
+
+    def throughput_mbps(self, distance_m: float) -> float:
+        """Fitted throughput in Mb/s (clamped at zero)."""
+        if distance_m <= 0:
+            raise ValueError("distance must be positive")
+        return max(
+            0.0,
+            self.slope_mbps_per_octave * math.log2(distance_m)
+            + self.intercept_mbps,
+        )
+
+    def throughput_bps(self, distance_m: float) -> float:
+        """Fitted throughput in bit/s."""
+        return self.throughput_mbps(distance_m) * 1e6
+
+
+def r_squared(observed: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination of ``predicted`` against ``observed``."""
+    obs = np.asarray(list(observed), dtype=float)
+    pred = np.asarray(list(predicted), dtype=float)
+    if obs.shape != pred.shape or obs.size == 0:
+        raise ValueError("observed and predicted must be equal-length, non-empty")
+    ss_res = float(np.sum((obs - pred) ** 2))
+    ss_tot = float(np.sum((obs - obs.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_log2(
+    distances_m: Sequence[float], throughputs_mbps: Sequence[float]
+) -> Log2Fit:
+    """Least-squares fit of ``s = a log2 d + b`` to the given medians."""
+    d = np.asarray(list(distances_m), dtype=float)
+    s = np.asarray(list(throughputs_mbps), dtype=float)
+    if d.shape != s.shape:
+        raise ValueError("distances and throughputs must have equal length")
+    if d.size < 2:
+        raise ValueError("need at least two points to fit")
+    if np.any(d <= 0):
+        raise ValueError("distances must be positive")
+    design = np.vstack([np.log2(d), np.ones_like(d)]).T
+    (slope, intercept), *_ = np.linalg.lstsq(design, s, rcond=None)
+    predicted = design @ np.array([slope, intercept])
+    return Log2Fit(
+        slope_mbps_per_octave=float(slope),
+        intercept_mbps=float(intercept),
+        r_squared=r_squared(s, predicted),
+        n_points=int(d.size),
+    )

@@ -1,0 +1,17 @@
+"""End-to-end mission simulation: sector sweeps and delivery policies."""
+
+from .ferry import FerryChainPlanner, FerryPlan, HopPlan
+from .lawnmower import lawnmower_waypoints, strip_width_m
+from .sar import POLICIES, EpisodeResult, MissionSummary, SarMissionSim
+
+__all__ = [
+    "FerryChainPlanner",
+    "FerryPlan",
+    "HopPlan",
+    "lawnmower_waypoints",
+    "strip_width_m",
+    "POLICIES",
+    "EpisodeResult",
+    "MissionSummary",
+    "SarMissionSim",
+]

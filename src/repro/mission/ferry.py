@@ -1,0 +1,175 @@
+"""Ferry chains: store-carry-forward delivery across heterogeneous UAVs.
+
+The paper's related-work discussion places delayed gratification in
+the store-carry-forward / DTN tradition ("any mission-oriented UAV can
+become a ferry").  This module chains the single-link model across two
+*heterogeneous* platforms: a slow sensing quadrocopter may hand its
+batch to a fast fixed-wing ferry that covers the long leg to the
+ground station — each hop solving its own Eq. 2 with its own platform
+parameters and throughput law.
+
+The analysis answers a planning question the single-link model cannot:
+*when is relaying through a ferry faster than flying the whole way
+yourself?*  A second transmission costs one extra ``Ttx``; the ferry
+pays it back by covering the silent leg at a higher cruise speed (and,
+with the airplane's flatter throughput law, often a faster ``Ttx``
+too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.optimizer import OptimalDecision
+from ..core.scenario import Scenario, airplane_scenario, quadrocopter_scenario
+from ..geo.coords import EnuPoint
+
+__all__ = ["HopPlan", "FerryPlan", "FerryChainPlanner"]
+
+
+@dataclass(frozen=True)
+class HopPlan:
+    """One hop of a ferry chain: carrier flies, then transmits."""
+
+    carrier: str
+    from_position: EnuPoint
+    to_position: EnuPoint
+    decision: OptimalDecision
+    #: Out-of-range distance the carrier covers in radio silence before
+    #: the single-link problem starts.
+    silent_m: float = 0.0
+
+    @property
+    def hop_delay_s(self) -> float:
+        """Cdelay of this hop (silent ferrying + ship + transmit)."""
+        return self.decision.cdelay_s
+
+    @property
+    def hop_survival(self) -> float:
+        """Survival probability of this hop's flying portion."""
+        return self.decision.discount
+
+
+@dataclass(frozen=True)
+class FerryPlan:
+    """A complete multi-hop delivery plan."""
+
+    name: str
+    hops: List[HopPlan]
+
+    @property
+    def total_delay_s(self) -> float:
+        """End-to-end communication delay (hops are sequential)."""
+        return sum(h.hop_delay_s for h in self.hops)
+
+    @property
+    def total_survival(self) -> float:
+        """Probability every hop's carrier survives its flying."""
+        p = 1.0
+        for hop in self.hops:
+            p *= hop.hop_survival
+        return p
+
+    @property
+    def utility(self) -> float:
+        """Chain analogue of Eq. 1: survival / total delay."""
+        return self.total_survival / self.total_delay_s
+
+
+def _fold_silent_leg(
+    scenario: Scenario, decision: OptimalDecision, silent_m: float
+) -> OptimalDecision:
+    """Add an out-of-range ferry leg to a single-link decision."""
+    if silent_m <= 0:
+        return decision
+    silent_s = silent_m / scenario.cruise_speed_mps
+    survival = scenario.failure_model().survival_probability(silent_m)
+    return OptimalDecision(
+        distance_m=decision.distance_m,
+        utility=decision.utility,
+        cdelay_s=decision.cdelay_s + silent_s,
+        shipping_s=decision.shipping_s + silent_s,
+        transmission_s=decision.transmission_s,
+        discount=decision.discount * survival,
+        contact_distance_m=decision.contact_distance_m,
+        speed_mps=decision.speed_mps,
+        data_bits=decision.data_bits,
+    )
+
+
+class FerryChainPlanner:
+    """Plans direct vs ferried delivery to a distant ground station.
+
+    ``sensor_scenario`` describes the data-collecting platform (by
+    default the paper's quadrocopter), ``ferry_scenario`` the relay
+    platform (by default the airplane).  The batch size always comes
+    from the sensor's mission.
+    """
+
+    def __init__(
+        self,
+        sensor_scenario: Optional[Scenario] = None,
+        ferry_scenario: Optional[Scenario] = None,
+    ) -> None:
+        self.sensor_scenario = (
+            sensor_scenario if sensor_scenario is not None
+            else quadrocopter_scenario()
+        )
+        self.ferry_scenario = (
+            ferry_scenario if ferry_scenario is not None else airplane_scenario()
+        )
+
+    # ------------------------------------------------------------------
+    def _hop(
+        self,
+        scenario: Scenario,
+        carrier: str,
+        frm: EnuPoint,
+        to: EnuPoint,
+        data_bits: float,
+    ) -> HopPlan:
+        distance = frm.distance_to(to)
+        d0 = max(
+            min(distance, scenario.contact_distance_m), scenario.min_distance_m
+        )
+        silent = max(0.0, distance - d0)
+        decision = scenario.optimizer().optimize(
+            d0, scenario.cruise_speed_mps, data_bits
+        )
+        return HopPlan(
+            carrier=carrier,
+            from_position=frm,
+            to_position=to,
+            decision=_fold_silent_leg(scenario, decision, silent),
+            silent_m=silent,
+        )
+
+    def direct_plan(self, sensor: EnuPoint, ground: EnuPoint) -> FerryPlan:
+        """The sensor carries its own batch all the way."""
+        bits = self.sensor_scenario.data_bits
+        return FerryPlan(
+            name="direct",
+            hops=[self._hop(self.sensor_scenario, "sensor", sensor, ground, bits)],
+        )
+
+    def ferried_plan(
+        self, sensor: EnuPoint, ferry: EnuPoint, ground: EnuPoint
+    ) -> FerryPlan:
+        """Sensor -> ferry handoff, then the ferry delivers."""
+        bits = self.sensor_scenario.data_bits
+        return FerryPlan(
+            name="ferried",
+            hops=[
+                self._hop(self.sensor_scenario, "sensor", sensor, ferry, bits),
+                self._hop(self.ferry_scenario, "ferry", ferry, ground, bits),
+            ],
+        )
+
+    def best_plan(
+        self, sensor: EnuPoint, ferry: EnuPoint, ground: EnuPoint
+    ) -> FerryPlan:
+        """Whichever of direct / ferried maximises the chain utility."""
+        direct = self.direct_plan(sensor, ground)
+        ferried = self.ferried_plan(sensor, ferry, ground)
+        return max((direct, ferried), key=lambda plan: plan.utility)

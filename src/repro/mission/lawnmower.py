@@ -1,0 +1,61 @@
+"""Lawnmower (boustrophedon) coverage paths for sector scanning.
+
+The sensing UAV sweeps its sector in parallel strips whose width equals
+the image footprint's short side, guaranteeing full coverage — the
+"path close to optimal for its sensing task" leg of the paper's
+three-way tradeoff.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.mission import CameraModel
+from ..geo.coords import EnuPoint
+from ..geo.trajectory import Waypoint
+
+__all__ = ["lawnmower_waypoints", "strip_width_m"]
+
+
+def strip_width_m(camera: CameraModel, altitude_m: float) -> float:
+    """Width of one sweep strip: the image footprint's short side."""
+    fov = camera.fov_m(altitude_m)
+    k = camera.aspect_ratio
+    return fov / math.sqrt(k * k + 1.0)
+
+
+def lawnmower_waypoints(
+    origin: EnuPoint,
+    width_m: float,
+    height_m: float,
+    altitude_m: float,
+    strip_m: float,
+    speed_mps: float | None = None,
+) -> List[Waypoint]:
+    """Boustrophedon sweep of the rectangle anchored at ``origin``.
+
+    ``origin`` is the south-west corner; strips run west-east, advancing
+    north by ``strip_m`` per pass.
+    """
+    if width_m <= 0 or height_m <= 0:
+        raise ValueError("sector dimensions must be positive")
+    if strip_m <= 0:
+        raise ValueError("strip width must be positive")
+    waypoints: List[Waypoint] = []
+    n_strips = max(1, math.ceil(height_m / strip_m))
+    for i in range(n_strips):
+        north = origin.north_m + min(height_m, (i + 0.5) * strip_m)
+        west = EnuPoint(origin.east_m, north, altitude_m)
+        east = EnuPoint(origin.east_m + width_m, north, altitude_m)
+        if i % 2 == 0:
+            waypoints.extend(
+                [Waypoint(west, speed_mps=speed_mps),
+                 Waypoint(east, speed_mps=speed_mps)]
+            )
+        else:
+            waypoints.extend(
+                [Waypoint(east, speed_mps=speed_mps),
+                 Waypoint(west, speed_mps=speed_mps)]
+            )
+    return waypoints

@@ -1,0 +1,20 @@
+"""Transport layer: packets, queues, the link engine, UDP and iperf."""
+
+from .detailed import DetailedLink, DetailedTransferResult
+from .iperf import IperfSession
+from .link import LinkStepResult, WirelessLink
+from .packets import Datagram, ImageBatch
+from .queue import BatchQueue
+from .udp import UdpTransfer
+
+__all__ = [
+    "DetailedLink",
+    "DetailedTransferResult",
+    "IperfSession",
+    "LinkStepResult",
+    "WirelessLink",
+    "Datagram",
+    "ImageBatch",
+    "BatchQueue",
+    "UdpTransfer",
+]

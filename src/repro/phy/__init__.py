@@ -1,0 +1,51 @@
+"""IEEE 802.11n PHY: MCS table, error model, timing, rate control."""
+
+from .error import (
+    AERIAL_THRESHOLDS,
+    REFERENCE_FRAME_BYTES,
+    SDM_EFFICIENCY,
+    TEXTBOOK_THRESHOLDS,
+    ErrorModel,
+)
+from .mcs import (
+    MCS_TABLE,
+    McsEntry,
+    Modulation,
+    all_mcs_indices,
+    data_rate_bps,
+    get_mcs,
+)
+from .phy80211n import PhyConfig, ppdu_duration_s, preamble_duration_s
+from .rate_control import (
+    DEFAULT_ARF_CHAIN,
+    DEFAULT_CANDIDATES,
+    ArfController,
+    BestMcsOracle,
+    FixedMcs,
+    MinstrelController,
+    RateController,
+)
+
+__all__ = [
+    "AERIAL_THRESHOLDS",
+    "REFERENCE_FRAME_BYTES",
+    "SDM_EFFICIENCY",
+    "TEXTBOOK_THRESHOLDS",
+    "ErrorModel",
+    "MCS_TABLE",
+    "McsEntry",
+    "Modulation",
+    "all_mcs_indices",
+    "data_rate_bps",
+    "get_mcs",
+    "PhyConfig",
+    "ppdu_duration_s",
+    "preamble_duration_s",
+    "DEFAULT_ARF_CHAIN",
+    "DEFAULT_CANDIDATES",
+    "ArfController",
+    "BestMcsOracle",
+    "FixedMcs",
+    "MinstrelController",
+    "RateController",
+]

@@ -1,0 +1,137 @@
+"""The IEEE 802.11n (HT) modulation and coding scheme table.
+
+Covers MCS 0-15: one and two spatial streams, 20 and 40 MHz channels,
+long (800 ns) and short (400 ns) guard intervals.  The testbed ran
+40 MHz with the short guard interval, where MCS1 = 30 Mb/s, MCS2 = 45,
+MCS3 = 60 and MCS8 = 30 Mb/s — matching the paper's "PHY rates up to
+60 Mb/s" for the fixed-rate study.
+
+Rates are derived from first principles (subcarriers x bits/symbol x
+coding rate / symbol time) rather than hard-coded, and validated
+against the standard's Table 20-30 values in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["Modulation", "McsEntry", "MCS_TABLE", "get_mcs", "data_rate_bps", "all_mcs_indices"]
+
+
+@dataclass(frozen=True)
+class Modulation:
+    """A constellation: name and coded bits per subcarrier per stream."""
+
+    name: str
+    bits_per_symbol: int
+
+
+BPSK = Modulation("BPSK", 1)
+QPSK = Modulation("QPSK", 2)
+QAM16 = Modulation("16-QAM", 4)
+QAM64 = Modulation("64-QAM", 6)
+
+#: Data subcarriers for HT transmissions.
+DATA_SUBCARRIERS = {20e6: 52, 40e6: 108}
+
+#: OFDM symbol duration excluding the guard interval (seconds).
+SYMBOL_BASE_S = 3.2e-6
+GUARD_LONG_S = 0.8e-6
+GUARD_SHORT_S = 0.4e-6
+
+#: (modulation, coding_rate) for the base MCS 0-7 sequence.
+_BASE_SCHEMES: List[Tuple[Modulation, float]] = [
+    (BPSK, 1 / 2),
+    (QPSK, 1 / 2),
+    (QPSK, 3 / 4),
+    (QAM16, 1 / 2),
+    (QAM16, 3 / 4),
+    (QAM64, 2 / 3),
+    (QAM64, 3 / 4),
+    (QAM64, 5 / 6),
+]
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One row of the HT MCS table."""
+
+    index: int
+    modulation: Modulation
+    coding_rate: float
+    spatial_streams: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= 31:
+            raise ValueError(f"HT MCS index out of range: {self.index}")
+        if self.spatial_streams not in (1, 2, 3, 4):
+            raise ValueError(f"invalid stream count: {self.spatial_streams}")
+        if not 0.0 < self.coding_rate <= 1.0:
+            raise ValueError(f"invalid coding rate: {self.coding_rate}")
+
+    def data_rate_bps(
+        self, bandwidth_hz: float = 40e6, short_gi: bool = True
+    ) -> float:
+        """PHY data rate in bit/s for the given channel configuration."""
+        try:
+            subcarriers = DATA_SUBCARRIERS[bandwidth_hz]
+        except KeyError:
+            raise ValueError(
+                f"unsupported bandwidth {bandwidth_hz}; "
+                f"supported: {sorted(DATA_SUBCARRIERS)}"
+            ) from None
+        symbol_s = SYMBOL_BASE_S + (GUARD_SHORT_S if short_gi else GUARD_LONG_S)
+        bits_per_ofdm_symbol = (
+            subcarriers
+            * self.modulation.bits_per_symbol
+            * self.coding_rate
+            * self.spatial_streams
+        )
+        return bits_per_ofdm_symbol / symbol_s
+
+    @property
+    def uses_sdm(self) -> bool:
+        """True when the entry multiplexes more than one spatial stream."""
+        return self.spatial_streams > 1
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``'MCS3: 16-QAM 1/2 x1'``."""
+        num, den = self.coding_rate.as_integer_ratio()
+        return (
+            f"MCS{self.index}: {self.modulation.name} {num}/{den} "
+            f"x{self.spatial_streams}"
+        )
+
+
+def _build_table() -> Dict[int, McsEntry]:
+    table: Dict[int, McsEntry] = {}
+    for streams in (1, 2):
+        for offset, (modulation, rate) in enumerate(_BASE_SCHEMES):
+            index = (streams - 1) * 8 + offset
+            table[index] = McsEntry(index, modulation, rate, streams)
+    return table
+
+
+#: MCS 0-15 (one and two spatial streams).
+MCS_TABLE: Dict[int, McsEntry] = _build_table()
+
+
+def get_mcs(index: int) -> McsEntry:
+    """Look up an MCS entry; raises ``KeyError`` with guidance if absent."""
+    try:
+        return MCS_TABLE[index]
+    except KeyError:
+        raise KeyError(
+            f"MCS{index} not modelled; available indices: 0..15"
+        ) from None
+
+
+def data_rate_bps(index: int, bandwidth_hz: float = 40e6, short_gi: bool = True) -> float:
+    """Convenience wrapper: PHY rate of ``MCS{index}``."""
+    return get_mcs(index).data_rate_bps(bandwidth_hz, short_gi)
+
+
+def all_mcs_indices() -> List[int]:
+    """All modelled MCS indices, ascending."""
+    return sorted(MCS_TABLE)

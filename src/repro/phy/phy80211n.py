@@ -1,0 +1,81 @@
+"""802.11n PHY-layer timing: preambles, symbols, frame durations.
+
+Models the HT-mixed format the testbed used (40 MHz, 400 ns short guard
+interval), including the per-stream HT-LTF cost, so the MAC airtime
+model charges realistic overheads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .mcs import GUARD_LONG_S, GUARD_SHORT_S, SYMBOL_BASE_S, McsEntry, get_mcs
+
+__all__ = ["PhyConfig", "preamble_duration_s", "ppdu_duration_s"]
+
+# HT-mixed preamble components (seconds).
+L_STF_S = 8e-6
+L_LTF_S = 8e-6
+L_SIG_S = 4e-6
+HT_SIG_S = 8e-6
+HT_STF_S = 4e-6
+HT_LTF_S = 4e-6
+
+#: OFDM service + tail bits added to every PSDU.
+SERVICE_TAIL_BITS = 22
+
+
+@dataclass(frozen=True)
+class PhyConfig:
+    """Static PHY configuration of a link (testbed defaults)."""
+
+    bandwidth_hz: float = 40e6
+    short_gi: bool = True
+    #: Space-time block coding on single-stream transmissions.
+    stbc: bool = True
+
+    @property
+    def symbol_duration_s(self) -> float:
+        """One OFDM symbol including the guard interval."""
+        return SYMBOL_BASE_S + (GUARD_SHORT_S if self.short_gi else GUARD_LONG_S)
+
+    def data_rate_bps(self, mcs_index: int) -> float:
+        """PHY data rate of ``MCS{mcs_index}`` under this configuration."""
+        return get_mcs(mcs_index).data_rate_bps(self.bandwidth_hz, self.short_gi)
+
+
+def preamble_duration_s(entry: McsEntry, stbc: bool = True) -> float:
+    """HT-mixed preamble duration for the given MCS.
+
+    STBC on a single spatial stream still occupies two space-time
+    streams, hence two HT-LTFs.
+    """
+    space_time_streams = entry.spatial_streams
+    if stbc and entry.spatial_streams == 1:
+        space_time_streams = 2
+    n_ltf = max(1, space_time_streams)
+    # HT-LTF count rounds up to {1, 2, 4}.
+    if n_ltf == 3:
+        n_ltf = 4
+    return L_STF_S + L_LTF_S + L_SIG_S + HT_SIG_S + HT_STF_S + n_ltf * HT_LTF_S
+
+
+def ppdu_duration_s(
+    psdu_bytes: int,
+    mcs_index: int,
+    config: PhyConfig = PhyConfig(),
+) -> float:
+    """Total on-air duration of one PPDU carrying ``psdu_bytes``.
+
+    Preamble plus the payload rounded up to whole OFDM symbols (with
+    service and tail bits), as the standard requires.
+    """
+    if psdu_bytes < 0:
+        raise ValueError("psdu_bytes must be non-negative")
+    entry = get_mcs(mcs_index)
+    rate = entry.data_rate_bps(config.bandwidth_hz, config.short_gi)
+    bits_per_symbol = rate * config.symbol_duration_s
+    total_bits = psdu_bytes * 8 + SERVICE_TAIL_BITS
+    n_symbols = max(1, math.ceil(total_bits / bits_per_symbol)) if psdu_bytes else 0
+    return preamble_duration_s(entry, config.stbc) + n_symbols * config.symbol_duration_s

@@ -1,0 +1,5 @@
+"""Terminal rendering of experiment figures (line plots, boxplots)."""
+
+from .ascii import box_plot, line_plot, sparkline
+
+__all__ = ["box_plot", "line_plot", "sparkline"]

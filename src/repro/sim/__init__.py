@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel, RNG streams, and monitors."""
+
+from .kernel import Event, ProcessHandle, SimulationError, Simulator, StopSimulation, Timer
+from .monitor import Counter, SummaryStats, TimeSeries
+from .process import every, sample_periodically
+from .random import RandomStreams
+
+__all__ = [
+    "Event",
+    "ProcessHandle",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Timer",
+    "Counter",
+    "SummaryStats",
+    "TimeSeries",
+    "every",
+    "sample_periodically",
+    "RandomStreams",
+]

@@ -1,0 +1,281 @@
+"""Discrete-event simulation kernel.
+
+This module provides the scheduling core used by every time-domain
+simulation in the library: the measurement campaigns (Figs. 5-7), the
+GPS-trace generation (Fig. 4), the strategy replays (Figs. 1-2) and the
+end-to-end mission examples.
+
+The design is deliberately small and explicit:
+
+* :class:`Event` — an immutable record of (time, priority, seq, callback).
+* :class:`Simulator` — a priority-queue driven event loop with a
+  monotonically non-decreasing clock.
+* :class:`Timer` — a cancellable, re-armable one-shot timer.
+* Generator-based *processes* live in :mod:`repro.sim.process` and are
+  driven through :meth:`Simulator.spawn`.
+
+Events scheduled for the same time fire in (priority, insertion) order,
+which makes simulations deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Timer",
+    "SimulationError",
+    "StopSimulation",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised inside a callback to stop the event loop immediately."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
+    insertion counter that guarantees FIFO behaviour among events with
+    equal time and priority.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal but complete discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 2.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Parameters
+        ----------
+        when:
+            Absolute simulation time; must not precede the current clock.
+        callback:
+            Zero-argument callable invoked when the event fires.
+        priority:
+            Tie-breaker among events at the same instant (lower first).
+        """
+        if not math.isfinite(when):
+            raise SimulationError(f"event time must be finite, got {when!r}")
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now={self._now}"
+            )
+        event = Event(float(when), priority, next(self._counter), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` after a relative ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback, priority=priority)
+
+    def spawn(self, generator: Iterable[float]) -> "ProcessHandle":
+        """Run a generator-based process.
+
+        The generator yields delays (seconds); after each yield the
+        process is resumed ``delay`` seconds later.  See
+        :mod:`repro.sim.process` for helpers built on top of this.
+        """
+        handle = ProcessHandle(self, iter(generator))
+        handle._step()
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            ``until`` and fast-forward the clock to ``until``.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._processed += 1
+                try:
+                    event.callback()
+                except StopSimulation:
+                    break
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one (non-cancelled) event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue is empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+
+class Timer:
+    """A cancellable one-shot timer that can be re-armed.
+
+    Used by MAC retransmission logic and by the control channel to model
+    timeouts without leaking stale events.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer currently has a pending event."""
+        return self._event is not None and not self._event.cancelled
+
+    def arm(self, delay: float) -> None:
+        """(Re-)arm the timer to fire after ``delay`` seconds."""
+        self.cancel()
+        self._event = self._sim.schedule_in(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Cancel a pending expiry, if any."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class ProcessHandle:
+    """Handle to a generator-based process started by :meth:`Simulator.spawn`."""
+
+    def __init__(self, sim: Simulator, generator) -> None:
+        self._sim = sim
+        self._generator = generator
+        self._event: Optional[Event] = None
+        self.finished = False
+
+    def stop(self) -> None:
+        """Abort the process; its generator is closed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if not self.finished:
+            self._generator.close()
+            self.finished = True
+
+    def _step(self) -> None:
+        if self.finished:
+            return
+        try:
+            delay = next(self._generator)
+        except StopIteration:
+            self.finished = True
+            self._event = None
+            return
+        if delay is None:
+            delay = 0.0
+        if delay < 0:
+            raise SimulationError(
+                f"process yielded a negative delay: {delay}"
+            )
+        self._event = self._sim.schedule_in(float(delay), self._step)

@@ -1,0 +1,151 @@
+"""Time-series monitors and summary statistics for simulations.
+
+The measurement campaigns record (time, value) samples — throughput,
+distance, speed — and later reduce them to the boxplot statistics the
+paper reports.  :class:`TimeSeries` is the recording container and
+:class:`SummaryStats` the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries", "SummaryStats", "Counter"]
+
+
+class TimeSeries:
+    """An append-only series of (time, value) samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"non-monotonic time in series {self.name!r}: "
+                f"{time} < {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def extend(self, samples: Iterable[Tuple[float, float]]) -> None:
+        """Append many (time, value) samples."""
+        for t, v in samples:
+            self.record(t, v)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as an array."""
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as an array."""
+        return np.asarray(self._values, dtype=float)
+
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated value at ``time`` (clamped at the ends)."""
+        if not self._times:
+            raise ValueError(f"series {self.name!r} is empty")
+        return float(np.interp(time, self._times, self._values))
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with ``start <= t <= end`` as a new series."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self._times, self._values):
+            if start <= t <= end:
+                out.record(t, v)
+        return out
+
+    def integrate(self) -> float:
+        """Trapezoidal integral of the series over its time span."""
+        if len(self._times) < 2:
+            return 0.0
+        integrate = getattr(np, "trapezoid", None) or np.trapz
+        return float(integrate(self._values, self._times))
+
+    def summary(self) -> "SummaryStats":
+        """Reduce to summary statistics."""
+        return SummaryStats.from_samples(self._values)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Boxplot-style summary of a sample set.
+
+    ``whisker_low``/``whisker_high`` follow the Tukey convention used by
+    Matlab/matplotlib boxplots (1.5 IQR, clamped to the data range).
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "SummaryStats":
+        """Compute the summary of ``samples`` (must be non-empty)."""
+        arr = np.asarray(list(samples), dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot summarise an empty sample set")
+        q1, median, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+        iqr = q3 - q1
+        lo_fence = q1 - 1.5 * iqr
+        hi_fence = q3 + 1.5 * iqr
+        in_lo = arr[arr >= lo_fence]
+        in_hi = arr[arr <= hi_fence]
+        whisker_low = float(in_lo.min()) if in_lo.size else float(arr.min())
+        whisker_high = float(in_hi.max()) if in_hi.size else float(arr.max())
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=0)),
+            minimum=float(arr.min()),
+            q1=float(q1),
+            median=float(median),
+            q3=float(q3),
+            maximum=float(arr.max()),
+            whisker_low=whisker_low,
+            whisker_high=whisker_high,
+        )
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.q3 - self.q1
+
+
+class Counter:
+    """A named bag of monotonic counters (packets sent, retries, ...)."""
+
+    def __init__(self) -> None:
+        self._counts: dict = {}
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increase counter ``name`` by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError("counters are monotonic; amount must be >= 0")
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0.0)
+
+    def as_dict(self) -> dict:
+        """Snapshot of all counters."""
+        return dict(self._counts)

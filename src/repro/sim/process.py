@@ -1,0 +1,70 @@
+"""Helpers for generator-based simulation processes.
+
+A *process* is a generator that yields delays in seconds; the kernel
+resumes it after each delay (see :meth:`repro.sim.kernel.Simulator.spawn`).
+This module adds common patterns: periodic sampling and bounded loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from .kernel import Simulator
+
+__all__ = ["every", "sample_periodically"]
+
+
+def every(
+    interval: float,
+    action: Callable[[], bool],
+    *,
+    initial_delay: float = 0.0,
+    max_iterations: Optional[int] = None,
+) -> Iterator[float]:
+    """A process that calls ``action`` every ``interval`` seconds.
+
+    ``action`` returns ``True`` to continue, ``False`` to stop.  The
+    optional ``max_iterations`` bounds the loop regardless of the return
+    value (useful as a safety net in tests).
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    if initial_delay > 0:
+        yield initial_delay
+    iterations = 0
+    while True:
+        if max_iterations is not None and iterations >= max_iterations:
+            return
+        iterations += 1
+        if not action():
+            return
+        yield interval
+
+
+def sample_periodically(
+    sim: Simulator,
+    interval: float,
+    duration: float,
+    probe: Callable[[float], float],
+    sink: Callable[[float, float], None],
+) -> None:
+    """Spawn a process sampling ``probe(now)`` every ``interval`` for ``duration``.
+
+    Each sample is delivered to ``sink(time, value)``.  The first sample
+    is taken one ``interval`` after the current time so rates measured
+    over the preceding interval are well defined.
+    """
+    if duration < 0:
+        raise ValueError(f"duration must be non-negative, got {duration}")
+    end = sim.now + duration
+
+    def _proc() -> Iterator[float]:
+        while True:
+            yield interval
+            if sim.now > end + 1e-12:
+                return
+            sink(sim.now, probe(sim.now))
+            if sim.now >= end - 1e-12:
+                return
+
+    sim.spawn(_proc())

@@ -1,0 +1,120 @@
+"""Tests for the autopilot and the Uav aggregate."""
+
+import pytest
+
+from repro.airframe import AIRPLANE, QUADROCOPTER, AutopilotMode, Uav
+from repro.geo import EnuPoint, Waypoint
+
+
+def fly(uav, duration_s, tick=0.1, start=0.0):
+    n_ticks = int(round(duration_s / tick))
+    now = start
+    for _ in range(n_ticks):
+        uav.tick(now, tick)
+        now += tick
+    return now
+
+
+class TestAutopilot:
+    def test_reaches_single_waypoint(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        target = EnuPoint(50.0, 0.0, 10.0)
+        uav.autopilot.load_mission([Waypoint(target)])
+        fly(uav, 30.0)
+        assert uav.autopilot.mission_complete
+        assert uav.position.distance_to(target) < 5.0
+
+    def test_visits_waypoints_in_order(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        wp1 = EnuPoint(20.0, 0.0, 10.0)
+        wp2 = EnuPoint(20.0, 20.0, 10.0)
+        uav.autopilot.load_mission([Waypoint(wp1), Waypoint(wp2)])
+        fly(uav, 40.0)
+        assert uav.autopilot.mission_complete
+        assert uav.position.distance_to(wp2) < 5.0
+
+    def test_hold_duration_respected(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        uav.autopilot.load_mission(
+            [Waypoint(EnuPoint(5.0, 0.0, 10.0), hold_s=10.0)]
+        )
+        end = fly(uav, 3.0)
+        assert uav.autopilot.mode == AutopilotMode.HOLD
+        fly(uav, 20.0, start=end)
+        assert uav.autopilot.mission_complete
+
+    def test_empty_mission_is_done(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        uav.autopilot.load_mission([])
+        assert uav.autopilot.mission_complete
+
+    def test_divert_interrupts_current_leg(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        uav.autopilot.load_mission([Waypoint(EnuPoint(100.0, 0.0, 10.0))])
+        end = fly(uav, 5.0)
+        divert_to = EnuPoint(0.0, 30.0, 10.0)
+        uav.autopilot.divert(Waypoint(divert_to))
+        fly(uav, 30.0, start=end)
+        # After the diversion the original waypoint is still pursued.
+        assert uav.autopilot.current_waypoint is not None or (
+            uav.autopilot.mission_complete
+        )
+
+    def test_append_waypoint_revives_done_mission(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        uav.autopilot.load_mission([])
+        uav.autopilot.append_waypoint(Waypoint(EnuPoint(10.0, 0.0, 10.0)))
+        assert uav.autopilot.mode == AutopilotMode.ENROUTE
+
+    def test_airplane_loiters_at_hold(self):
+        uav = Uav("a", AIRPLANE, EnuPoint(0.0, 0.0, 80.0))
+        wp = EnuPoint(100.0, 0.0, 80.0)
+        uav.autopilot.load_mission([Waypoint(wp, hold_s=30.0, acceptance_radius_m=15.0)])
+        fly(uav, 25.0)
+        assert uav.autopilot.mode == AutopilotMode.HOLD
+        # While loitering the airplane keeps moving.
+        assert uav.speed_mps > 5.0
+
+
+class TestUav:
+    def test_trace_is_recorded(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        uav.autopilot.load_mission([Waypoint(EnuPoint(20.0, 0.0, 10.0))])
+        fly(uav, 5.0)
+        assert len(uav.trace) == 50
+
+    def test_battery_drains_while_flying(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        uav.autopilot.load_mission([Waypoint(EnuPoint(200.0, 0.0, 10.0))])
+        fly(uav, 10.0)
+        assert uav.battery.fraction < 1.0
+
+    def test_depleted_battery_kills_uav(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0), charge_fraction=0.001)
+        uav.autopilot.load_mission([Waypoint(EnuPoint(500.0, 0.0, 10.0))])
+        fly(uav, 30.0)
+        assert not uav.alive
+
+    def test_dead_uav_does_not_move(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0), charge_fraction=0.001)
+        uav.autopilot.load_mission([Waypoint(EnuPoint(500.0, 0.0, 10.0))])
+        end = fly(uav, 30.0)
+        frozen = uav.position
+        fly(uav, 5.0, start=end)
+        assert uav.position.distance_to(frozen) == 0.0
+
+    def test_distance_between_uavs(self):
+        a = Uav("a", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        b = Uav("b", QUADROCOPTER, EnuPoint(30.0, 40.0, 10.0))
+        assert a.distance_to(b) == pytest.approx(50.0)
+
+    def test_estimated_travel_time(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        t = uav.estimated_travel_time_s(EnuPoint(45.0, 0.0, 10.0))
+        assert t == pytest.approx(10.0)
+
+    def test_distance_flown_accumulates(self):
+        uav = Uav("q", QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        uav.autopilot.load_mission([Waypoint(EnuPoint(50.0, 0.0, 10.0))])
+        fly(uav, 30.0)
+        assert uav.distance_flown_m == pytest.approx(50.0, rel=0.1)

@@ -1,0 +1,59 @@
+"""Tests for the battery model."""
+
+import pytest
+
+from repro.airframe import AIRPLANE, QUADROCOPTER, Battery, BatteryDepleted
+
+
+class TestBattery:
+    def test_full_battery_state(self):
+        b = Battery(AIRPLANE)
+        assert b.fraction == 1.0
+        assert b.remaining_s == AIRPLANE.battery_autonomy_s
+        assert not b.depleted
+
+    def test_partial_charge(self):
+        b = Battery(AIRPLANE, charge_fraction=0.5)
+        assert b.fraction == pytest.approx(0.5)
+
+    def test_invalid_charge_fraction(self):
+        with pytest.raises(ValueError):
+            Battery(AIRPLANE, charge_fraction=1.5)
+
+    def test_cruise_consumption_is_one_to_one(self):
+        b = Battery(AIRPLANE)
+        b.consume(60.0, speed_mps=AIRPLANE.cruise_speed_mps)
+        assert b.remaining_s == pytest.approx(AIRPLANE.battery_autonomy_s - 60.0)
+
+    def test_hover_costs_more_than_cruise(self):
+        hover = Battery(QUADROCOPTER)
+        cruise = Battery(QUADROCOPTER)
+        hover.consume(100.0, hovering=True)
+        cruise.consume(100.0, speed_mps=QUADROCOPTER.cruise_speed_mps)
+        assert hover.remaining_s < cruise.remaining_s
+
+    def test_overspeed_penalty(self):
+        fast = Battery(AIRPLANE)
+        slow = Battery(AIRPLANE)
+        fast.consume(100.0, speed_mps=20.0)
+        slow.consume(100.0, speed_mps=10.0)
+        assert fast.remaining_s < slow.remaining_s
+
+    def test_depletion_raises_and_clamps(self):
+        b = Battery(QUADROCOPTER, charge_fraction=0.001)
+        with pytest.raises(BatteryDepleted):
+            b.consume(1e6, speed_mps=1.0)
+        assert b.remaining_s == 0.0
+        assert b.depleted
+
+    def test_remaining_range(self):
+        b = Battery(AIRPLANE, charge_fraction=0.5)
+        assert b.remaining_range_m() == pytest.approx(9_000.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(AIRPLANE).consume(-1.0)
+
+    def test_drain_rate_below_cruise_is_nominal(self):
+        b = Battery(AIRPLANE)
+        assert b.drain_rate(5.0, hovering=False) == 1.0

@@ -1,0 +1,109 @@
+"""Tests for the point-mass dynamics."""
+
+import math
+
+import pytest
+
+from repro.airframe import AIRPLANE, QUADROCOPTER, PointMassDynamics, PointMassState
+from repro.geo import EnuPoint
+
+
+def make(spec, position=EnuPoint(0.0, 0.0, 50.0)):
+    state = PointMassState(position)
+    return PointMassDynamics(spec, state), state
+
+
+class TestSpeedEnvelope:
+    def test_quad_can_stop(self):
+        dyn, _ = make(QUADROCOPTER)
+        assert dyn.min_speed() == 0.0
+        assert dyn.clamp_speed(0.0) == 0.0
+
+    def test_airplane_cannot_stall(self):
+        dyn, _ = make(AIRPLANE)
+        assert dyn.min_speed() == pytest.approx(6.0)
+        assert dyn.clamp_speed(1.0) == pytest.approx(6.0)
+
+    def test_max_speed_clamped(self):
+        dyn, _ = make(AIRPLANE)
+        assert dyn.clamp_speed(100.0) == AIRPLANE.max_speed_mps
+
+
+class TestAdvanceTowards:
+    def test_moves_towards_target(self):
+        dyn, state = make(QUADROCOPTER)
+        target = EnuPoint(100.0, 0.0, 50.0)
+        for _ in range(100):
+            dyn.advance_towards(target, 0.5)
+        assert state.position.east_m > 90.0
+
+    def test_does_not_overshoot(self):
+        dyn, state = make(QUADROCOPTER, EnuPoint(0.0, 0.0, 10.0))
+        state.speed_mps = QUADROCOPTER.cruise_speed_mps
+        target = EnuPoint(1.0, 0.0, 10.0)
+        dyn.advance_towards(target, 10.0)
+        assert state.position.east_m <= 1.0 + 1e-9
+
+    def test_speed_ramps_with_acceleration_limit(self):
+        dyn, state = make(QUADROCOPTER)
+        dyn.advance_towards(EnuPoint(1000.0, 0.0, 50.0), 0.5)
+        assert state.speed_mps <= QUADROCOPTER.max_acceleration_mps2 * 0.5 + 1e-9
+
+    def test_climb_rate_limited(self):
+        dyn, state = make(QUADROCOPTER, EnuPoint(0.0, 0.0, 0.0))
+        dyn.advance_towards(EnuPoint(0.0, 0.0, 100.0), 1.0)
+        assert state.position.up_m <= QUADROCOPTER.climb_rate_mps + 1e-9
+
+    def test_heading_points_at_target(self):
+        dyn, state = make(QUADROCOPTER)
+        dyn.advance_towards(EnuPoint(10.0, 10.0, 50.0), 0.1)
+        assert state.heading_rad == pytest.approx(math.pi / 4)
+
+    def test_returns_distance_flown(self):
+        dyn, state = make(QUADROCOPTER)
+        state.speed_mps = 4.0
+        flown = dyn.advance_towards(EnuPoint(100.0, 0.0, 50.0), 1.0)
+        assert flown > 0.0
+        assert flown == pytest.approx(state.speed_mps, rel=0.5)
+
+    def test_zero_dt_no_motion(self):
+        dyn, state = make(QUADROCOPTER)
+        assert dyn.advance_towards(EnuPoint(10.0, 0.0, 50.0), 0.0) == 0.0
+
+
+class TestHoverAndLoiter:
+    def test_quad_hover_holds_position(self):
+        dyn, state = make(QUADROCOPTER, EnuPoint(5.0, 6.0, 10.0))
+        dyn.advance_hover(1.0)
+        assert state.position.east_m == 5.0
+        assert state.speed_mps == 0.0
+
+    def test_airplane_cannot_hover(self):
+        dyn, _ = make(AIRPLANE)
+        with pytest.raises(ValueError):
+            dyn.advance_hover(1.0)
+
+    def test_loiter_stays_near_circle(self):
+        dyn, state = make(AIRPLANE, EnuPoint(20.0, 0.0, 80.0))
+        center = EnuPoint(0.0, 0.0, 80.0)
+        for _ in range(200):
+            dyn.advance_loiter(center, 20.0, 0.1)
+        radius = state.position.horizontal_distance_to(center)
+        assert radius == pytest.approx(20.0, abs=1.0)
+
+    def test_loiter_arc_length_matches_speed(self):
+        dyn, state = make(AIRPLANE, EnuPoint(20.0, 0.0, 80.0))
+        arc = dyn.advance_loiter(EnuPoint(0.0, 0.0, 80.0), 20.0, 1.0)
+        assert arc == pytest.approx(state.speed_mps, rel=1e-6)
+
+    def test_loiter_radius_at_least_platform_minimum(self):
+        dyn, state = make(AIRPLANE, EnuPoint(5.0, 0.0, 80.0))
+        for _ in range(300):
+            dyn.advance_loiter(EnuPoint(0.0, 0.0, 80.0), 5.0, 0.1)
+        radius = state.position.horizontal_distance_to(EnuPoint(0.0, 0.0, 80.0))
+        assert radius >= AIRPLANE.min_turn_radius_m - 1.0
+
+    def test_loiter_from_center_jumps_onto_circle(self):
+        dyn, state = make(AIRPLANE, EnuPoint(0.0, 0.0, 80.0))
+        dyn.advance_loiter(EnuPoint(0.0, 0.0, 80.0), 20.0, 0.1)
+        assert state.position.horizontal_distance_to(EnuPoint(0.0, 0.0, 80.0)) > 1.0

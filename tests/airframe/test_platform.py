@@ -1,0 +1,84 @@
+"""Tests for platform specifications (paper Table 1)."""
+
+import pytest
+
+from repro.airframe import AIRPLANE, PLATFORMS, QUADROCOPTER, PlatformSpec, get_platform
+
+
+class TestTableOneValues:
+    def test_airplane_matches_table1(self):
+        assert not AIRPLANE.can_hover
+        assert AIRPLANE.weight_kg == pytest.approx(0.5)
+        assert AIRPLANE.battery_autonomy_s == 30 * 60
+        assert AIRPLANE.cruise_speed_mps == 10.0
+        assert AIRPLANE.max_safe_altitude_m == 300.0
+
+    def test_quadrocopter_matches_table1(self):
+        assert QUADROCOPTER.can_hover
+        assert QUADROCOPTER.weight_kg == pytest.approx(1.7)
+        assert QUADROCOPTER.battery_autonomy_s == 20 * 60
+        assert QUADROCOPTER.cruise_speed_mps == 4.5
+        assert QUADROCOPTER.max_safe_altitude_m == 100.0
+
+    def test_airplane_loiters_at_20m_radius(self):
+        assert AIRPLANE.min_turn_radius_m == 20.0
+
+    def test_battery_range(self):
+        assert AIRPLANE.battery_range_m == pytest.approx(18_000.0)
+        assert QUADROCOPTER.battery_range_m == pytest.approx(5_400.0)
+
+    def test_nominal_failure_rate_is_inverse_range(self):
+        assert AIRPLANE.nominal_failure_rate_per_m == pytest.approx(1 / 18_000)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_platform("airplane") is AIRPLANE
+        assert get_platform("quadrocopter") is QUADROCOPTER
+
+    def test_unknown_platform_raises_with_choices(self):
+        with pytest.raises(KeyError, match="airplane"):
+            get_platform("zeppelin")
+
+    def test_registry_contains_both(self):
+        assert set(PLATFORMS) == {"airplane", "quadrocopter"}
+
+
+class TestValidation:
+    def test_non_hovering_needs_turn_radius(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(
+                name="bad",
+                can_hover=False,
+                size_description="x",
+                weight_kg=1.0,
+                battery_autonomy_s=100.0,
+                cruise_speed_mps=5.0,
+                max_safe_altitude_m=100.0,
+                min_turn_radius_m=0.0,
+            )
+
+    def test_max_speed_below_cruise_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(
+                name="bad",
+                can_hover=True,
+                size_description="x",
+                weight_kg=1.0,
+                battery_autonomy_s=100.0,
+                cruise_speed_mps=5.0,
+                max_safe_altitude_m=100.0,
+                max_speed_mps=3.0,
+            )
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(
+                name="bad",
+                can_hover=True,
+                size_description="x",
+                weight_kg=0.0,
+                battery_autonomy_s=100.0,
+                cruise_speed_mps=5.0,
+                max_safe_altitude_m=100.0,
+            )

@@ -1,0 +1,89 @@
+"""Tests for the antenna orientation model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel import AttitudeState, DipolePattern, orientation_loss_db
+
+
+class TestDipolePattern:
+    def test_broadside_is_peak(self):
+        pattern = DipolePattern()
+        assert pattern.gain_db(math.pi / 2) == pytest.approx(pattern.peak_gain_dbi)
+
+    def test_axial_null(self):
+        pattern = DipolePattern(null_depth_db=25.0)
+        assert pattern.gain_db(0.0) == pytest.approx(
+            pattern.peak_gain_dbi - 25.0
+        )
+
+    def test_symmetric_about_broadside(self):
+        pattern = DipolePattern()
+        assert pattern.gain_db(math.pi / 3) == pytest.approx(
+            pattern.gain_db(math.pi - math.pi / 3)
+        )
+
+    def test_monotone_from_null_to_broadside(self):
+        pattern = DipolePattern()
+        gains = [pattern.gain_db(t) for t in np.linspace(0.01, math.pi / 2, 30)]
+        assert all(b >= a - 1e-9 for a, b in zip(gains, gains[1:]))
+
+
+class TestAttitude:
+    def test_level_attitude_axis_is_vertical(self):
+        axis = AttitudeState().element_axis()
+        assert np.allclose(axis, [0.0, 0.0, 1.0])
+
+    def test_ninety_degree_roll_tilts_axis_horizontal(self):
+        axis = AttitudeState(roll_rad=math.pi / 2).element_axis()
+        assert abs(axis[2]) < 1e-9
+
+    def test_axis_is_unit_vector(self):
+        for roll, pitch in [(0.3, 0.1), (-0.5, 0.4), (1.0, -1.0)]:
+            axis = AttitudeState(roll, pitch).element_axis()
+            assert np.linalg.norm(axis) == pytest.approx(1.0)
+
+
+class TestOrientationLoss:
+    def test_level_flight_horizontal_link_no_loss(self):
+        """Vertical element, horizontal link: broadside, zero deficit."""
+        loss = orientation_loss_db(
+            DipolePattern(), AttitudeState(), np.array([1.0, 0.0, 0.0])
+        )
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_banked_turn_towards_peer_hits_null(self):
+        """90-degree roll with the link along the element axis: deep fade."""
+        loss = orientation_loss_db(
+            DipolePattern(null_depth_db=25.0),
+            AttitudeState(roll_rad=math.pi / 2),
+            np.array([0.0, -1.0, 0.0]),
+        )
+        assert loss == pytest.approx(25.0, abs=0.5)
+
+    def test_moderate_bank_moderate_loss(self):
+        loss = orientation_loss_db(
+            DipolePattern(),
+            AttitudeState(roll_rad=math.radians(30)),
+            np.array([0.0, -1.0, 0.0]),
+        )
+        assert 0.1 < loss < 10.0
+
+    def test_loss_never_negative(self):
+        rng = np.random.default_rng(1)
+        pattern = DipolePattern()
+        for _ in range(100):
+            attitude = AttitudeState(
+                roll_rad=rng.uniform(-1.5, 1.5), pitch_rad=rng.uniform(-1.5, 1.5)
+            )
+            direction = rng.normal(size=3)
+            loss = orientation_loss_db(pattern, attitude, direction)
+            assert loss >= -1e-9
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            orientation_loss_db(
+                DipolePattern(), AttitudeState(), np.zeros(3)
+            )

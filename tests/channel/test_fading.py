@@ -1,0 +1,121 @@
+"""Tests for the fading processes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    GaussMarkovShadowing,
+    RicianFading,
+    ShadowingConfig,
+    doppler_coherence_time_s,
+)
+from repro.sim import RandomStreams
+
+
+class TestDopplerCoherence:
+    def test_hover_has_infinite_coherence(self):
+        assert doppler_coherence_time_s(0.0) == float("inf")
+
+    def test_8mps_at_5ghz_is_milliseconds(self):
+        tc = doppler_coherence_time_s(8.0, 5.2e9)
+        assert 0.001 < tc < 0.01
+
+    def test_coherence_shrinks_with_speed(self):
+        assert doppler_coherence_time_s(20.0) < doppler_coherence_time_s(5.0)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            doppler_coherence_time_s(-1.0)
+
+
+class TestShadowing:
+    def _process(self, streams, **kwargs):
+        defaults = dict(
+            sigma_db=4.0,
+            coherence_time_s=0.5,
+            dropout_probability=0.0,
+            dropout_depth_db=0.0,
+        )
+        defaults.update(kwargs)
+        return GaussMarkovShadowing(
+            ShadowingConfig(**defaults), streams.get("shadow")
+        )
+
+    def test_stationary_variance(self, streams):
+        proc = self._process(streams)
+        samples = np.array([proc.sample(i * 0.5) for i in range(4000)])
+        assert samples.std() == pytest.approx(4.0, rel=0.15)
+        assert abs(samples.mean()) < 0.5
+
+    def test_short_gaps_are_correlated(self, streams):
+        proc = self._process(streams)
+        samples = np.array([proc.sample(i * 0.01) for i in range(5000)])
+        r = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        assert r > 0.9
+
+    def test_dropouts_lower_samples(self, streams):
+        plain = self._process(streams)
+        streams2 = RandomStreams(99)
+        dropped = GaussMarkovShadowing(
+            ShadowingConfig(
+                sigma_db=0.0,
+                coherence_time_s=0.1,
+                dropout_probability=0.5,
+                dropout_depth_db=20.0,
+            ),
+            streams2.get("shadow"),
+        )
+        samples = np.array([dropped.sample(i * 0.1) for i in range(2000)])
+        # Roughly half the epochs should sit 20 dB down.
+        frac_dropped = np.mean(samples < -10.0)
+        assert 0.3 < frac_dropped < 0.7
+
+    def test_zero_sigma_no_dropouts_is_constant_zero(self):
+        streams = RandomStreams(5)
+        proc = GaussMarkovShadowing(
+            ShadowingConfig(sigma_db=0.0, dropout_probability=0.0),
+            streams.get("s"),
+        )
+        assert all(proc.sample(i * 0.3) == 0.0 for i in range(10))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowingConfig(sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            ShadowingConfig(coherence_time_s=0.0)
+        with pytest.raises(ValueError):
+            ShadowingConfig(dropout_probability=1.5)
+
+
+class TestRician:
+    def test_unit_mean_power(self, streams):
+        fading = RicianFading(streams.get("rician"), k_factor_hover_db=10.0)
+        samples_db = np.array([fading.sample_db(0.0) for _ in range(8000)])
+        mean_power = np.mean(10 ** (samples_db / 10.0))
+        assert mean_power == pytest.approx(1.0, rel=0.05)
+
+    def test_k_factor_decays_with_speed(self, streams):
+        fading = RicianFading(
+            streams.get("r"), k_factor_hover_db=12.0, k_factor_floor_db=0.0,
+            speed_scale_mps=6.0,
+        )
+        assert fading.k_factor_db(0.0) == pytest.approx(12.0)
+        assert fading.k_factor_db(6.0) == pytest.approx(12.0 / math.e, rel=1e-6)
+        assert fading.k_factor_db(100.0) == pytest.approx(0.0, abs=0.01)
+
+    def test_variance_grows_with_speed(self, streams):
+        fading = RicianFading(streams.get("r2"))
+        hover = np.array([fading.sample_db(0.0) for _ in range(4000)])
+        moving = np.array([fading.sample_db(15.0) for _ in range(4000)])
+        assert moving.std() > hover.std()
+
+    def test_negative_speed_rejected(self, streams):
+        fading = RicianFading(streams.get("r3"))
+        with pytest.raises(ValueError):
+            fading.sample_db(-1.0)
+
+    def test_invalid_speed_scale_rejected(self, streams):
+        with pytest.raises(ValueError):
+            RicianFading(streams.get("r4"), speed_scale_mps=0.0)

@@ -1,0 +1,55 @@
+"""Tests for the interference field."""
+
+import pytest
+
+from repro.channel import InterferenceField, InterferenceSource
+from repro.geo import EnuPoint
+
+
+class TestInterferenceField:
+    def test_empty_field_no_degradation(self):
+        field = InterferenceField()
+        assert field.interference_dbm(EnuPoint(0, 0)) == float("-inf")
+        assert field.snr_degradation_db(EnuPoint(0, 0), -93.0) == 0.0
+
+    def test_close_source_degrades_snr(self):
+        field = InterferenceField()
+        field.add(InterferenceSource(EnuPoint(10.0, 0.0), tx_power_dbm=20.0))
+        degradation = field.snr_degradation_db(EnuPoint(0.0, 0.0), -93.0)
+        assert degradation > 3.0
+
+    def test_far_source_is_negligible(self):
+        field = InterferenceField()
+        field.add(InterferenceSource(EnuPoint(100_000.0, 0.0), tx_power_dbm=10.0))
+        degradation = field.snr_degradation_db(EnuPoint(0.0, 0.0), -93.0)
+        assert degradation < 0.1
+
+    def test_duty_cycle_scales_power(self):
+        always = InterferenceField()
+        always.add(InterferenceSource(EnuPoint(50.0, 0.0), 20.0, duty_cycle=1.0))
+        rare = InterferenceField()
+        rare.add(InterferenceSource(EnuPoint(50.0, 0.0), 20.0, duty_cycle=0.01))
+        rx = EnuPoint(0.0, 0.0)
+        assert rare.interference_dbm(rx) == pytest.approx(
+            always.interference_dbm(rx) - 20.0, abs=0.1
+        )
+
+    def test_zero_duty_cycle_ignored(self):
+        field = InterferenceField()
+        field.add(InterferenceSource(EnuPoint(10.0, 0.0), 20.0, duty_cycle=0.0))
+        assert field.interference_dbm(EnuPoint(0, 0)) == float("-inf")
+
+    def test_multiple_sources_sum(self):
+        one = InterferenceField()
+        one.add(InterferenceSource(EnuPoint(50.0, 0.0), 20.0))
+        two = InterferenceField()
+        two.add(InterferenceSource(EnuPoint(50.0, 0.0), 20.0))
+        two.add(InterferenceSource(EnuPoint(-50.0, 0.0), 20.0))
+        rx = EnuPoint(0.0, 0.0)
+        assert two.interference_dbm(rx) == pytest.approx(
+            one.interference_dbm(rx) + 3.0, abs=0.1
+        )
+
+    def test_invalid_duty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceSource(EnuPoint(0, 0), 10.0, duty_cycle=2.0)

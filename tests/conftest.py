@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel import AerialChannel, airplane_profile, quadrocopter_profile
+from repro.core import airplane_scenario, quadrocopter_scenario
+from repro.sim import RandomStreams, Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh discrete-event simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def streams():
+    """Deterministic RNG streams."""
+    return RandomStreams(seed=1234)
+
+
+@pytest.fixture
+def air_scenario():
+    """The paper's airplane baseline scenario."""
+    return airplane_scenario()
+
+
+@pytest.fixture
+def quad_scenario():
+    """The paper's quadrocopter baseline scenario."""
+    return quadrocopter_scenario()
+
+
+@pytest.fixture
+def air_channel(streams):
+    """An airplane-profile channel with deterministic streams."""
+    return AerialChannel(airplane_profile(), streams)
+
+
+@pytest.fixture
+def quad_channel(streams):
+    """A quadrocopter-profile channel with deterministic streams."""
+    return AerialChannel(quadrocopter_profile(), streams)

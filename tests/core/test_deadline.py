@@ -1,0 +1,113 @@
+"""Tests for the deadline-guarantee analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExponentialFailure, HoverAndTransmit, LogFitThroughput
+from repro.core.deadline import (
+    deadline_curve,
+    expected_fraction_by,
+    probability_fraction_by,
+    time_to_fraction,
+)
+
+QUAD = LogFitThroughput(-10.5, 73.0)
+
+
+@pytest.fixture
+def outcome():
+    return HoverAndTransmit(QUAD, 60.0).execute(100.0, 4.5, 56.2 * 8e6)
+
+
+class TestTimeToFraction:
+    def test_zero_fraction_is_start(self, outcome):
+        assert time_to_fraction(outcome, 0.0) == outcome.times_s[0]
+
+    def test_full_fraction_is_completion(self, outcome):
+        assert time_to_fraction(outcome, 1.0) == pytest.approx(
+            outcome.completion_time_s, abs=0.2
+        )
+
+    def test_monotone_in_fraction(self, outcome):
+        times = [time_to_fraction(outcome, f) for f in (0.1, 0.5, 0.9)]
+        assert times == sorted(times)
+
+    def test_half_fraction_mid_transmission(self, outcome):
+        ship = (100.0 - 60.0) / 4.5
+        t_half = time_to_fraction(outcome, 0.5)
+        assert ship < t_half < outcome.completion_time_s
+
+    def test_unreachable_fraction_is_inf(self, outcome):
+        truncated = HoverAndTransmit(QUAD, 60.0).execute(100.0, 4.5, 1e9)
+        # Interrupt artificially by asking for more than the batch.
+        assert time_to_fraction(outcome, 1.0) < float("inf")
+        assert np.isfinite(time_to_fraction(truncated, 1.0))
+
+    def test_invalid_fraction_rejected(self, outcome):
+        with pytest.raises(ValueError):
+            time_to_fraction(outcome, 1.5)
+
+
+class TestProbabilityFractionBy:
+    def test_impossible_deadline_zero(self, outcome):
+        assert probability_fraction_by(
+            outcome, ExponentialFailure(0.0), 1.0, 1.0
+        ) == 0.0
+
+    def test_generous_deadline_no_hazard_certain(self, outcome):
+        p = probability_fraction_by(
+            outcome, ExponentialFailure(0.0), 1.0, outcome.completion_time_s + 1
+        )
+        assert p == pytest.approx(1.0)
+
+    def test_hazard_discounts_by_flown_distance(self, outcome):
+        rho = 1e-3
+        p = probability_fraction_by(
+            outcome, ExponentialFailure(rho), 1.0, outcome.completion_time_s + 1
+        )
+        assert p == pytest.approx(np.exp(-rho * 40.0), rel=1e-6)
+
+    def test_monotone_in_deadline(self, outcome):
+        model = ExponentialFailure(1e-3)
+        probs = [
+            probability_fraction_by(outcome, model, 0.5, t)
+            for t in (5.0, 20.0, 40.0, 80.0)
+        ]
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+
+    def test_negative_deadline_rejected(self, outcome):
+        with pytest.raises(ValueError):
+            probability_fraction_by(outcome, ExponentialFailure(0.0), 0.5, -1.0)
+
+
+class TestExpectedFractionBy:
+    def test_zero_deadline_zero(self, outcome):
+        assert expected_fraction_by(outcome, ExponentialFailure(1e-3), 0.0) == 0.0
+
+    def test_no_hazard_matches_nominal_curve(self, outcome):
+        t = outcome.completion_time_s * 0.7
+        expected = expected_fraction_by(outcome, ExponentialFailure(0.0), t)
+        nominal = outcome.delivered_fraction_at(t)
+        assert expected == pytest.approx(nominal, abs=0.02)
+
+    def test_hazard_lowers_expectation(self, outcome):
+        t = outcome.completion_time_s + 5
+        risky = expected_fraction_by(outcome, ExponentialFailure(5e-3), t)
+        safe = expected_fraction_by(outcome, ExponentialFailure(0.0), t)
+        assert risky < safe
+
+    def test_bounded(self, outcome):
+        for t in (1.0, 10.0, 100.0):
+            value = expected_fraction_by(outcome, ExponentialFailure(1e-3), t)
+            assert 0.0 <= value <= 1.0
+
+
+class TestDeadlineCurve:
+    def test_curve_shapes(self, outcome):
+        deadlines, probs = deadline_curve(
+            outcome, ExponentialFailure(1e-3), np.linspace(0, 60, 13), 0.8
+        )
+        assert len(deadlines) == len(probs) == 13
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+        assert probs[0] == 0.0
+        assert probs[-1] > 0.9

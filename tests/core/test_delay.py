@@ -1,0 +1,79 @@
+"""Tests for the communication-delay model Cdelay = Tship + Ttx."""
+
+import pytest
+
+from repro.core import CommunicationDelayModel, LogFitThroughput
+
+
+@pytest.fixture
+def model():
+    return CommunicationDelayModel(LogFitThroughput(-10.5, 73.0), min_distance_m=20.0)
+
+
+class TestShippingTime:
+    def test_formula(self, model):
+        # (100 - 60) / 4.5 = 8.89 s.
+        assert model.shipping_time_s(60.0, 100.0, 4.5) == pytest.approx(8.889, rel=1e-3)
+
+    def test_zero_when_transmitting_at_contact(self, model):
+        assert model.shipping_time_s(100.0, 100.0, 4.5) == 0.0
+
+    def test_faster_uav_ships_quicker(self, model):
+        slow = model.shipping_time_s(20.0, 100.0, 4.5)
+        fast = model.shipping_time_s(20.0, 100.0, 10.0)
+        assert fast < slow
+
+    def test_non_positive_speed_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.shipping_time_s(50.0, 100.0, 0.0)
+
+
+class TestTransmissionTime:
+    def test_formula(self, model):
+        # 56.2 MB at s(60) = 11.0 Mb/s.
+        bits = 56.2 * 8e6
+        expected = bits / model.throughput.throughput_bps(60.0)
+        assert model.transmission_time_s(60.0, bits) == pytest.approx(expected)
+
+    def test_closer_is_faster(self, model):
+        bits = 10 * 8e6
+        assert model.transmission_time_s(20.0, bits) < model.transmission_time_s(80.0, bits)
+
+    def test_scales_linearly_with_data(self, model):
+        assert model.transmission_time_s(50.0, 2e8) == pytest.approx(
+            2 * model.transmission_time_s(50.0, 1e8)
+        )
+
+    def test_non_positive_data_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.transmission_time_s(50.0, 0.0)
+
+
+class TestCdelay:
+    def test_is_sum_of_parts(self, model):
+        parts = model.breakdown(60.0, 100.0, 4.5, 4.5e8)
+        assert parts.total_s == pytest.approx(parts.shipping_s + parts.transmission_s)
+        assert model.cdelay_s(60.0, 100.0, 4.5, 4.5e8) == pytest.approx(parts.total_s)
+
+    def test_distance_constraints_enforced(self, model):
+        with pytest.raises(ValueError):
+            model.cdelay_s(10.0, 100.0, 4.5, 1e8)  # below the 20 m floor
+        with pytest.raises(ValueError):
+            model.cdelay_s(150.0, 100.0, 4.5, 1e8)  # beyond d0
+
+    def test_contact_below_floor_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.cdelay_s(20.0, 10.0, 4.5, 1e8)
+
+    def test_quadrocopter_baseline_sanity(self, model):
+        """Paper quad baseline: Cdelay(20) ~ 34 s for 56.2 MB at 4.5 m/s."""
+        cdelay = model.cdelay_s(20.0, 100.0, 4.5, 56.2 * 8e6)
+        assert cdelay == pytest.approx(34.0, rel=0.05)
+
+    def test_tradeoff_exists(self, model):
+        """Large transfers favour moving closer; the minimum is interior
+        or at the floor, not at d0."""
+        bits = 56.2 * 8e6
+        at_floor = model.cdelay_s(20.0, 100.0, 4.5, bits)
+        at_contact = model.cdelay_s(100.0, 100.0, 4.5, bits)
+        assert at_floor < at_contact

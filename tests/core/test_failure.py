@@ -1,0 +1,96 @@
+"""Tests for the failure (discount) models."""
+
+import math
+
+import pytest
+
+from repro.airframe import AIRPLANE, QUADROCOPTER
+from repro.core import (
+    ExponentialFailure,
+    NonStationaryFailure,
+    WeibullFailure,
+    failure_rate_from_platform,
+)
+
+
+class TestExponential:
+    def test_survival_formula(self):
+        model = ExponentialFailure(1e-3)
+        assert model.survival_probability(1000.0) == pytest.approx(math.exp(-1.0))
+
+    def test_zero_distance_survives(self):
+        assert ExponentialFailure(0.01).survival_probability(0.0) == 1.0
+
+    def test_zero_rate_never_fails(self):
+        assert ExponentialFailure(0.0).survival_probability(1e9) == 1.0
+
+    def test_monotone_decreasing(self):
+        model = ExponentialFailure(1e-3)
+        probs = [model.survival_probability(d) for d in (0, 100, 500, 2000)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialFailure(-1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialFailure(1e-3).survival_probability(-1.0)
+
+
+class TestNonStationary:
+    def test_constant_rate_matches_exponential(self):
+        ns = NonStationaryFailure(lambda x: 1e-3)
+        exp = ExponentialFailure(1e-3)
+        for d in (0.0, 50.0, 500.0):
+            assert ns.survival_probability(d) == pytest.approx(
+                exp.survival_probability(d), rel=1e-6
+            )
+
+    def test_growing_hazard_worse_than_initial_rate(self):
+        ns = NonStationaryFailure(lambda x: 1e-4 * (1 + x / 100.0))
+        exp = ExponentialFailure(1e-4)
+        assert ns.survival_probability(500.0) < exp.survival_probability(500.0)
+
+    def test_zero_distance(self):
+        assert NonStationaryFailure(lambda x: 1.0).survival_probability(0.0) == 1.0
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self):
+        w = WeibullFailure(scale_m=1000.0, shape=1.0)
+        exp = ExponentialFailure(1e-3)
+        for d in (10.0, 300.0, 2000.0):
+            assert w.survival_probability(d) == pytest.approx(
+                exp.survival_probability(d), rel=1e-9
+            )
+
+    def test_wearout_shape_penalises_long_flights(self):
+        wearout = WeibullFailure(scale_m=1000.0, shape=2.0)
+        exp = WeibullFailure(scale_m=1000.0, shape=1.0)
+        assert wearout.survival_probability(2000.0) < exp.survival_probability(2000.0)
+        assert wearout.survival_probability(100.0) > exp.survival_probability(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeibullFailure(scale_m=0.0)
+        with pytest.raises(ValueError):
+            WeibullFailure(scale_m=10.0, shape=0.0)
+
+
+class TestPlatformDerivedRate:
+    def test_airplane_matches_paper_rho(self):
+        """900 s x 10 m/s = 9000 m -> rho = 1.11e-4 /m."""
+        assert failure_rate_from_platform(AIRPLANE) == pytest.approx(
+            1.11e-4, rel=0.01
+        )
+
+    def test_quadrocopter_matches_paper_rho(self):
+        """900 s x 4.5 m/s = 4050 m -> rho = 2.46e-4 /m."""
+        assert failure_rate_from_platform(QUADROCOPTER) == pytest.approx(
+            2.46e-4, rel=0.01
+        )
+
+    def test_invalid_endurance_rejected(self):
+        with pytest.raises(ValueError):
+            failure_rate_from_platform(AIRPLANE, endurance_s=0.0)

@@ -1,0 +1,74 @@
+"""Tests for the sensing-mission geometry (paper footnotes 3-4)."""
+
+import pytest
+
+from repro.core import CameraModel, SectorMission
+
+
+class TestCameraModel:
+    def test_paper_airplane_fov(self):
+        """70 m altitude, 65-degree lens: FOV = 90 m."""
+        camera = CameraModel()
+        assert camera.fov_m(70.0) == pytest.approx(89.2, rel=0.01)
+
+    def test_paper_airplane_footprint(self):
+        """Paper footnote 3: Aimage = 3432 m^2 (we derive ~3450)."""
+        camera = CameraModel()
+        assert camera.image_footprint_m2(70.0) == pytest.approx(3432.0, rel=0.02)
+
+    def test_paper_quadrocopter_footprint(self):
+        """Paper footnote 4: 10 m altitude gives FOV 12.7 m, Aimage 69.4 m^2."""
+        camera = CameraModel()
+        assert camera.fov_m(10.0) == pytest.approx(12.74, rel=0.01)
+        assert camera.image_footprint_m2(10.0) == pytest.approx(69.4, rel=0.02)
+
+    def test_image_size_matches_paper(self):
+        """1280x720 JPG100 = 0.39 MB."""
+        assert CameraModel().image_bytes == pytest.approx(0.39e6, rel=1e-6)
+
+    def test_aspect_ratio(self):
+        assert CameraModel().aspect_ratio == pytest.approx(16.0 / 9.0)
+
+    def test_footprint_grows_with_altitude(self):
+        camera = CameraModel()
+        assert camera.image_footprint_m2(100.0) > camera.image_footprint_m2(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CameraModel(width_px=0)
+        with pytest.raises(ValueError):
+            CameraModel(lens_angle_deg=180.0)
+        with pytest.raises(ValueError):
+            CameraModel().fov_m(0.0)
+
+
+class TestSectorMission:
+    def test_airplane_mdata_28mb(self):
+        """Paper: Asector = 0.25 km^2 from 70 m -> Mdata = 28 MB."""
+        mission = SectorMission(500.0 * 500.0, 70.0)
+        assert mission.data_megabytes == pytest.approx(28.0, rel=0.03)
+
+    def test_quadrocopter_mdata_56mb(self):
+        """Paper: Asector = 0.01 km^2 from 10 m -> Mdata = 56.2 MB."""
+        mission = SectorMission(100.0 * 100.0, 10.0)
+        assert mission.data_megabytes == pytest.approx(56.2, rel=0.02)
+
+    def test_data_bits_conversion(self):
+        mission = SectorMission(100.0 * 100.0, 10.0)
+        assert mission.data_bits == pytest.approx(mission.data_bytes * 8.0)
+
+    def test_more_area_more_data(self):
+        small = SectorMission(100.0 * 100.0, 10.0)
+        large = SectorMission(200.0 * 200.0, 10.0)
+        assert large.data_bytes == pytest.approx(4 * small.data_bytes)
+
+    def test_higher_altitude_less_data(self):
+        low = SectorMission(500.0 * 500.0, 50.0)
+        high = SectorMission(500.0 * 500.0, 100.0)
+        assert high.data_bytes < low.data_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SectorMission(0.0, 10.0)
+        with pytest.raises(ValueError):
+            SectorMission(100.0, 0.0)

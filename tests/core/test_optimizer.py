@@ -1,0 +1,106 @@
+"""Tests for the distance optimiser (paper Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CommunicationDelayModel,
+    DelayedGratificationUtility,
+    DistanceOptimizer,
+    ExponentialFailure,
+    LogFitThroughput,
+)
+
+
+def make_optimizer(rho=2.46e-4, fit=(-10.5, 73.0), min_d=20.0, **kwargs):
+    delay = CommunicationDelayModel(LogFitThroughput(*fit), min_d)
+    utility = DelayedGratificationUtility(delay, ExponentialFailure(rho))
+    return DistanceOptimizer(utility, **kwargs)
+
+
+class TestOptimize:
+    def test_result_within_bounds(self):
+        opt = make_optimizer()
+        decision = opt.optimize(100.0, 4.5, 56.2 * 8e6)
+        assert 20.0 <= decision.distance_m <= 100.0
+
+    def test_result_is_argmax_on_grid(self):
+        opt = make_optimizer()
+        decision = opt.optimize(100.0, 4.5, 56.2 * 8e6)
+        distances, utilities = opt.utility_curve(100.0, 4.5, 56.2 * 8e6, 400)
+        assert decision.utility >= utilities.max() - 1e-9
+
+    def test_quad_baseline_matches_paper(self):
+        """Nominal quad scenario: dopt at the 20 m floor (Fig. 8)."""
+        opt = make_optimizer()
+        decision = opt.optimize(100.0, 4.5, 56.2 * 8e6)
+        assert decision.distance_m == pytest.approx(20.0, abs=1.0)
+
+    def test_dopt_increases_with_rho(self):
+        dopts = []
+        for rho in (2.46e-4, 1e-3, 2e-3, 5e-3, 1e-2):
+            decision = make_optimizer(rho=rho).optimize(100.0, 4.5, 56.2 * 8e6)
+            dopts.append(decision.distance_m)
+        assert all(b >= a - 1e-6 for a, b in zip(dopts, dopts[1:]))
+        assert dopts[-1] > dopts[0]
+
+    def test_small_data_transmits_immediately(self):
+        """Tiny transfers are not worth flying for."""
+        opt = make_optimizer(fit=(-5.56, 49.0), rho=1.11e-4)
+        decision = opt.optimize(300.0, 10.0, 1 * 8e6)
+        assert decision.transmit_immediately
+
+    def test_huge_data_moves_to_floor(self):
+        opt = make_optimizer(fit=(-5.56, 49.0), rho=1.11e-4)
+        decision = opt.optimize(300.0, 10.0, 100 * 8e6)
+        assert decision.distance_m == pytest.approx(20.0, abs=1.0)
+
+    def test_breakdown_fields_consistent(self):
+        decision = make_optimizer().optimize(100.0, 4.5, 56.2 * 8e6)
+        assert decision.cdelay_s == pytest.approx(
+            decision.shipping_s + decision.transmission_s
+        )
+        assert decision.utility == pytest.approx(
+            decision.discount / decision.cdelay_s
+        )
+
+    def test_d0_at_floor_is_immediate(self):
+        decision = make_optimizer().optimize(20.0, 4.5, 56.2 * 8e6)
+        assert decision.distance_m == 20.0
+        assert decision.shipping_s == 0.0
+
+    def test_constraints_validated(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            opt.optimize(100.0, 0.0, 1e8)
+        with pytest.raises(ValueError):
+            opt.optimize(100.0, 4.5, 0.0)
+        with pytest.raises(ValueError):
+            opt.optimize(10.0, 4.5, 1e8)
+
+    def test_refinement_beats_coarse_grid(self):
+        coarse = make_optimizer(grid_step_m=25.0, rho=2e-3)
+        fine = make_optimizer(grid_step_m=0.25, rho=2e-3)
+        d_coarse = coarse.optimize(100.0, 4.5, 56.2 * 8e6)
+        d_fine = fine.optimize(100.0, 4.5, 56.2 * 8e6)
+        assert d_coarse.utility == pytest.approx(d_fine.utility, rel=1e-3)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            make_optimizer(grid_step_m=0.0)
+        with pytest.raises(ValueError):
+            make_optimizer(refine_tolerance_m=0.0)
+
+
+class TestUtilityCurve:
+    def test_curve_shape(self):
+        opt = make_optimizer()
+        d, u = opt.utility_curve(100.0, 4.5, 56.2 * 8e6, 50)
+        assert len(d) == len(u) == 50
+        assert d[0] == 20.0 and d[-1] == 100.0
+        assert np.all(u > 0)
+
+    def test_minimum_points(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            opt.utility_curve(100.0, 4.5, 1e8, n_points=1)

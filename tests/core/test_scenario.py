@@ -1,0 +1,82 @@
+"""Tests for the baseline scenarios (paper Section 4)."""
+
+import pytest
+
+from repro.core import airplane_scenario, quadrocopter_scenario
+
+
+class TestAirplaneScenario:
+    def test_paper_parameters(self, air_scenario):
+        assert air_scenario.cruise_speed_mps == 10.0
+        assert air_scenario.failure_rate_per_m == pytest.approx(1.11e-4)
+        assert air_scenario.contact_distance_m == 300.0
+        assert air_scenario.min_distance_m == 20.0
+
+    def test_mdata_close_to_28mb(self, air_scenario):
+        assert air_scenario.data_megabytes == pytest.approx(28.0, rel=0.03)
+
+    def test_throughput_is_paper_fit(self, air_scenario):
+        assert air_scenario.throughput.throughput_bps(20.0) == pytest.approx(
+            24.97e6, rel=1e-3
+        )
+
+    def test_solve_returns_valid_decision(self, air_scenario):
+        decision = air_scenario.solve()
+        assert 20.0 <= decision.distance_m <= 300.0
+        assert decision.utility > 0.0
+
+
+class TestQuadrocopterScenario:
+    def test_paper_parameters(self, quad_scenario):
+        assert quad_scenario.cruise_speed_mps == 4.5
+        assert quad_scenario.failure_rate_per_m == pytest.approx(2.46e-4)
+        assert quad_scenario.contact_distance_m == 100.0
+
+    def test_mdata_close_to_56mb(self, quad_scenario):
+        assert quad_scenario.data_megabytes == pytest.approx(56.2, rel=0.02)
+
+    def test_nominal_solution_at_floor(self, quad_scenario):
+        """Fig. 8: at nominal rho the quad should close to ~20 m."""
+        assert quad_scenario.solve().distance_m == pytest.approx(20.0, abs=1.0)
+
+
+class TestOverrides:
+    def test_with_data_megabytes(self, air_scenario):
+        small = air_scenario.with_data_megabytes(5.0)
+        assert small.data_megabytes == pytest.approx(5.0)
+        # The original is untouched (frozen dataclass copy).
+        assert air_scenario.data_megabytes == pytest.approx(28.0, rel=0.03)
+
+    def test_with_speed(self, air_scenario):
+        fast = air_scenario.with_speed(20.0)
+        assert fast.cruise_speed_mps == 20.0
+        assert air_scenario.cruise_speed_mps == 10.0
+
+    def test_with_failure_rate(self, air_scenario):
+        risky = air_scenario.with_failure_rate(1e-2)
+        assert risky.failure_rate_per_m == 1e-2
+
+    def test_invalid_overrides_rejected(self, air_scenario):
+        with pytest.raises(ValueError):
+            air_scenario.with_data_megabytes(0.0)
+
+    def test_sweep_changes_solution(self, air_scenario):
+        light = air_scenario.with_data_megabytes(1.0).solve()
+        heavy = air_scenario.with_data_megabytes(45.0).solve()
+        assert heavy.distance_m < light.distance_m
+
+
+class TestScenarioValidation:
+    def test_contact_below_floor_rejected(self, air_scenario):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(air_scenario, contact_distance_m=10.0)
+
+    def test_non_positive_speed_rejected(self, air_scenario):
+        with pytest.raises(ValueError):
+            air_scenario.with_speed(0.0)
+
+    def test_scenarios_are_independent(self):
+        assert airplane_scenario() is not airplane_scenario()
+        assert quadrocopter_scenario().name == "quadrocopter"

@@ -1,0 +1,140 @@
+"""Tests for the transfer strategies (Fig. 1 / Fig. 2 machinery)."""
+
+import pytest
+
+from repro.core import (
+    ExponentialFailure,
+    HoverAndTransmit,
+    LogFitThroughput,
+    MixedStrategy,
+    MoveAndTransmit,
+    TableThroughput,
+    transmit_now,
+)
+
+QUAD_FIT = LogFitThroughput(-10.5, 73.0)
+FIG1_TABLE = TableThroughput(
+    {20.0: 36e6, 40.0: 35e6, 60.0: 33e6, 80.0: 17.8e6}, speed_scale_mps=5.0
+)
+
+
+class TestHoverAndTransmit:
+    def test_completion_time_formula(self):
+        outcome = HoverAndTransmit(QUAD_FIT, 60.0).execute(100.0, 4.5, 56.2 * 8e6)
+        expected = 40.0 / 4.5 + 56.2 * 8e6 / QUAD_FIT.throughput_bps(60.0)
+        assert outcome.completion_time_s == pytest.approx(expected, rel=1e-6)
+
+    def test_no_delivery_during_shipping(self):
+        outcome = HoverAndTransmit(QUAD_FIT, 60.0).execute(100.0, 4.5, 1e8)
+        ship_time = 40.0 / 4.5
+        assert outcome.delivered_bits_at(ship_time * 0.9) == 0.0
+
+    def test_full_delivery_at_completion(self):
+        outcome = HoverAndTransmit(QUAD_FIT, 60.0).execute(100.0, 4.5, 1e8)
+        assert outcome.delivered_bits_at(outcome.completion_time_s) == pytest.approx(1e8)
+
+    def test_delivery_curve_monotone(self):
+        outcome = HoverAndTransmit(QUAD_FIT, 40.0).execute(100.0, 4.5, 1e8)
+        deltas = outcome.delivered_bits[1:] - outcome.delivered_bits[:-1]
+        assert (deltas >= -1e-6).all()
+
+    def test_distance_curve(self):
+        outcome = HoverAndTransmit(QUAD_FIT, 60.0).execute(100.0, 4.5, 1e8)
+        assert outcome.distance_m[0] == 100.0
+        assert outcome.distance_m[-1] == 60.0
+
+    def test_transmit_now_has_no_shipping(self):
+        outcome = transmit_now(QUAD_FIT, 100.0, 4.5, 1e8)
+        assert outcome.distance_m[0] == outcome.distance_m[-1] == 100.0
+        assert outcome.delivered_bits_at(1.0) > 0.0
+
+    def test_moving_beyond_contact_rejected(self):
+        with pytest.raises(ValueError):
+            HoverAndTransmit(QUAD_FIT, 150.0).execute(100.0, 4.5, 1e8)
+
+    def test_invalid_inputs_rejected(self):
+        strategy = HoverAndTransmit(QUAD_FIT, 60.0)
+        with pytest.raises(ValueError):
+            strategy.execute(100.0, 0.0, 1e8)
+        with pytest.raises(ValueError):
+            strategy.execute(100.0, 4.5, 0.0)
+
+
+class TestFigureOneShape:
+    """The headline result: waiting at 60 m beats transmitting at 80 m."""
+
+    def test_d60_wins_for_20mb(self):
+        bits = 20 * 8e6
+        times = {
+            d: HoverAndTransmit(FIG1_TABLE, d).execute(80.0, 8.0, bits).completion_time_s
+            for d in (20.0, 40.0, 60.0, 80.0)
+        }
+        times["moving"] = MoveAndTransmit(FIG1_TABLE, 10.0).execute(
+            80.0, 8.0, bits
+        ).completion_time_s
+        assert min(times, key=times.get) == 60.0
+
+    def test_d80_wins_for_small_transfers(self):
+        bits = 2 * 8e6
+        t80 = HoverAndTransmit(FIG1_TABLE, 80.0).execute(80.0, 8.0, bits)
+        t60 = HoverAndTransmit(FIG1_TABLE, 60.0).execute(80.0, 8.0, bits)
+        assert t80.completion_time_s < t60.completion_time_s
+
+    def test_moving_is_dominated(self):
+        bits = 20 * 8e6
+        moving = MoveAndTransmit(FIG1_TABLE, 10.0).execute(80.0, 8.0, bits)
+        best_hover = min(
+            HoverAndTransmit(FIG1_TABLE, d).execute(80.0, 8.0, bits).completion_time_s
+            for d in (20.0, 40.0, 60.0, 80.0)
+        )
+        assert moving.completion_time_s > best_hover
+
+
+class TestMixedStrategy:
+    def test_delivers_during_approach(self):
+        outcome = MixedStrategy(FIG1_TABLE, 40.0).execute(80.0, 8.0, 20 * 8e6)
+        approach_time = (80.0 - 40.0) / 8.0
+        assert outcome.delivered_bits_at(approach_time * 0.9) > 0.0
+
+    def test_completes_all_data(self):
+        bits = 20 * 8e6
+        outcome = MixedStrategy(FIG1_TABLE, 40.0).execute(80.0, 8.0, bits)
+        assert outcome.delivered_bits[-1] == pytest.approx(bits)
+
+    def test_may_finish_mid_approach_for_tiny_data(self):
+        outcome = MixedStrategy(FIG1_TABLE, 20.0).execute(80.0, 2.0, 1e6)
+        assert outcome.distance_m[-1] > 20.0
+
+    def test_stop_beyond_contact_rejected(self):
+        with pytest.raises(ValueError):
+            MixedStrategy(FIG1_TABLE, 150.0).execute(100.0, 8.0, 1e8)
+
+    def test_move_and_transmit_is_mixed_at_floor(self):
+        bits = 20 * 8e6
+        mixed = MixedStrategy(FIG1_TABLE, 10.0).execute(80.0, 8.0, bits)
+        mat = MoveAndTransmit(FIG1_TABLE, 10.0).execute(80.0, 8.0, bits)
+        assert mat.completion_time_s == pytest.approx(mixed.completion_time_s)
+        assert mat.name == "move-and-transmit"
+
+
+class TestExpectedDeliveredFraction:
+    def test_no_failure_model_gives_full_delivery(self):
+        outcome = HoverAndTransmit(QUAD_FIT, 60.0).execute(100.0, 4.5, 1e8)
+        frac = outcome.expected_delivered_fraction(ExponentialFailure(0.0), 4.5)
+        assert frac == pytest.approx(1.0)
+
+    def test_high_hazard_reduces_expectation(self):
+        outcome = HoverAndTransmit(QUAD_FIT, 20.0).execute(100.0, 4.5, 1e8)
+        risky = outcome.expected_delivered_fraction(ExponentialFailure(0.05), 4.5)
+        safe = outcome.expected_delivered_fraction(ExponentialFailure(1e-5), 4.5)
+        assert risky < safe <= 1.0
+
+    def test_stay_put_strategy_immune_to_distance_hazard(self):
+        outcome = transmit_now(QUAD_FIT, 100.0, 4.5, 1e8)
+        frac = outcome.expected_delivered_fraction(ExponentialFailure(0.05), 4.5)
+        assert frac == pytest.approx(1.0)
+
+    def test_fraction_bounded(self):
+        outcome = MixedStrategy(QUAD_FIT, 20.0).execute(100.0, 4.5, 1e8)
+        frac = outcome.expected_delivered_fraction(ExponentialFailure(0.01), 4.5)
+        assert 0.0 <= frac <= 1.0

@@ -1,0 +1,92 @@
+"""Tests for the throughput models s(d)."""
+
+import math
+
+import pytest
+
+from repro.core import LogFitThroughput, SpeedScaledThroughput, TableThroughput
+from repro.core.throughput import MIN_THROUGHPUT_BPS
+
+
+class TestLogFit:
+    def test_paper_airplane_values(self):
+        s = LogFitThroughput(-5.56, 49.0)
+        # s(20) = -5.56 * log2(20) + 49 = 24.97 Mb/s.
+        assert s.throughput_bps(20.0) == pytest.approx(24.97e6, rel=1e-3)
+        assert s.throughput_bps(300.0) == pytest.approx(3.25e6, rel=1e-2)
+
+    def test_paper_quadrocopter_values(self):
+        s = LogFitThroughput(-10.5, 73.0)
+        assert s.throughput_bps(20.0) == pytest.approx(27.6e6, rel=1e-2)
+        assert s.throughput_bps(80.0) == pytest.approx(6.63e6, rel=1e-2)
+
+    def test_monotone_decreasing(self):
+        s = LogFitThroughput(-5.56, 49.0)
+        rates = [s.throughput_bps(d) for d in (20, 50, 100, 200, 300)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_clamped_at_floor_when_fit_goes_negative(self):
+        s = LogFitThroughput(-10.5, 73.0)
+        assert s.throughput_bps(10_000.0) == MIN_THROUGHPUT_BPS
+
+    def test_moving_throughput_decays_exponentially(self):
+        s = LogFitThroughput(-5.56, 49.0, speed_scale_mps=7.0)
+        hover = s.throughput_bps(50.0)
+        assert s.throughput_bps_moving(50.0, 7.0) == pytest.approx(
+            hover / math.e, rel=1e-6
+        )
+
+    def test_zero_speed_equals_hover(self):
+        s = LogFitThroughput(-5.56, 49.0)
+        assert s.throughput_bps_moving(50.0, 0.0) == s.throughput_bps(50.0)
+
+    def test_invalid_inputs_rejected(self):
+        s = LogFitThroughput(-5.56, 49.0)
+        with pytest.raises(ValueError):
+            s.throughput_bps(0.0)
+        with pytest.raises(ValueError):
+            s.throughput_bps_moving(50.0, -1.0)
+        with pytest.raises(ValueError):
+            LogFitThroughput(-5.56, 49.0, speed_scale_mps=0.0)
+
+
+class TestTable:
+    def test_exact_at_table_points(self):
+        s = TableThroughput({20.0: 36e6, 80.0: 18e6})
+        assert s.throughput_bps(20.0) == 36e6
+        assert s.throughput_bps(80.0) == 18e6
+
+    def test_interpolation_between_points(self):
+        s = TableThroughput({20.0: 30e6, 40.0: 10e6})
+        assert s.throughput_bps(30.0) == pytest.approx(20e6)
+
+    def test_flat_extrapolation(self):
+        s = TableThroughput({20.0: 30e6, 40.0: 10e6})
+        assert s.throughput_bps(5.0) == 30e6
+        assert s.throughput_bps(100.0) == 10e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableThroughput({})
+        with pytest.raises(ValueError):
+            TableThroughput({-1.0: 1e6})
+        with pytest.raises(ValueError):
+            TableThroughput({10.0: 0.0})
+
+
+class TestSpeedScaled:
+    def test_wraps_hover_model(self):
+        base = LogFitThroughput(-10.5, 73.0)
+        wrapped = SpeedScaledThroughput(base, speed_scale_mps=5.0)
+        assert wrapped.throughput_bps(40.0) == base.throughput_bps(40.0)
+
+    def test_custom_decay_scale(self):
+        base = TableThroughput({60.0: 10e6})
+        wrapped = SpeedScaledThroughput(base, speed_scale_mps=5.0)
+        assert wrapped.throughput_bps_moving(60.0, 5.0) == pytest.approx(
+            10e6 / math.e
+        )
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedScaledThroughput(LogFitThroughput(-5.56, 49.0), speed_scale_mps=0.0)

@@ -1,0 +1,79 @@
+"""Tests for the delayed-gratification utility U(d) (paper Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    CommunicationDelayModel,
+    DelayedGratificationUtility,
+    ExponentialFailure,
+    LogFitThroughput,
+)
+
+
+@pytest.fixture
+def utility():
+    delay = CommunicationDelayModel(LogFitThroughput(-10.5, 73.0), 20.0)
+    return DelayedGratificationUtility(delay, ExponentialFailure(2.46e-4))
+
+
+class TestDiscount:
+    def test_formula(self, utility):
+        # delta(d) = exp(-rho (d0 - d)).
+        assert utility.discount(40.0, 100.0) == pytest.approx(
+            math.exp(-2.46e-4 * 60.0)
+        )
+
+    def test_no_move_no_discount(self, utility):
+        assert utility.discount(100.0, 100.0) == 1.0
+
+    def test_discount_below_one_when_moving(self, utility):
+        assert utility.discount(20.0, 100.0) < 1.0
+
+
+class TestUtility:
+    def test_is_product_of_factors(self, utility):
+        bits = 56.2 * 8e6
+        u = utility.utility(60.0, 100.0, 4.5, bits)
+        expected = utility.discount(60.0, 100.0) * utility.instantaneous(
+            60.0, 100.0, 4.5, bits
+        )
+        assert u == pytest.approx(expected)
+
+    def test_instantaneous_is_inverse_delay(self, utility):
+        bits = 56.2 * 8e6
+        u = utility.instantaneous(60.0, 100.0, 4.5, bits)
+        cdelay = utility.delay_model.cdelay_s(60.0, 100.0, 4.5, bits)
+        assert u == pytest.approx(1.0 / cdelay)
+
+    def test_zero_failure_rate_reduces_to_delay_minimisation(self):
+        delay = CommunicationDelayModel(LogFitThroughput(-10.5, 73.0), 20.0)
+        utility = DelayedGratificationUtility(delay, ExponentialFailure(0.0))
+        bits = 56.2 * 8e6
+        # With rho = 0 the best distance minimises Cdelay exactly.
+        distances = [20.0, 40.0, 60.0, 80.0, 100.0]
+        best_u = max(distances, key=lambda d: utility.utility(d, 100.0, 4.5, bits))
+        best_c = min(distances, key=lambda d: delay.cdelay_s(d, 100.0, 4.5, bits))
+        assert best_u == best_c
+
+    def test_paper_quadrocopter_magnitude(self, utility):
+        """Fig. 8 (quad): U near 0.03 at the optimum for nominal rho."""
+        bits = 56.2 * 8e6
+        u20 = utility.utility(20.0, 100.0, 4.5, bits)
+        assert 0.02 < u20 < 0.04
+
+    def test_breakdown_consistency(self, utility):
+        bits = 56.2 * 8e6
+        b = utility.breakdown(50.0, 100.0, 4.5, bits)
+        assert b.utility == pytest.approx(b.discount * b.instantaneous_utility)
+        assert b.cdelay_s == pytest.approx(b.shipping_s + b.transmission_s)
+        assert b.distance_m == 50.0
+
+    def test_high_rho_prefers_immediate_transmission(self):
+        delay = CommunicationDelayModel(LogFitThroughput(-10.5, 73.0), 20.0)
+        risky = DelayedGratificationUtility(delay, ExponentialFailure(0.1))
+        bits = 56.2 * 8e6
+        assert risky.utility(100.0, 100.0, 4.5, bits) > risky.utility(
+            20.0, 100.0, 4.5, bits
+        )

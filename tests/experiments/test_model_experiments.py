@@ -1,0 +1,131 @@
+"""Shape tests for the analytic experiments (Figs. 1, 2, 8, 9, Table 1).
+
+These assert the paper's qualitative claims on the regenerated data.
+"""
+
+import pytest
+
+from repro.experiments import fig1, fig2, fig8, fig9, table1
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig1.run()
+
+    def test_d60_wins(self, report):
+        assert report.data["winner"] == "d=60"
+
+    def test_crossover_near_paper_value(self, report):
+        """Paper: ~15 MB; digitised replay lands within a few MB."""
+        assert 8.0 <= report.data["crossover_mb"] <= 20.0
+
+    def test_moving_is_worst_hover_strategy_beater(self, report):
+        completion = report.data["completion_s"]
+        assert completion["moving"] > completion["d=60"]
+
+    def test_small_transfer_prefers_d80(self):
+        small = fig1.run(data_mb=2.0)
+        completion = small.data["completion_s"]
+        assert completion["d=80"] < completion["d=60"]
+
+    def test_report_text_well_formed(self, report):
+        text = report.as_text()
+        assert "fig1" in text
+        assert "crossover" in text
+
+    def test_simulated_replay_small_batch(self):
+        """The stochastic replay runs end-to-end on a small batch.
+
+        For a tiny transfer the shipping time dominates, so staying at
+        the contact distance beats flying to the floor first — the
+        other side of the Fig. 1 crossover.
+        """
+        sim = fig1.run_simulated(data_mb=3.0, seed=7)
+        completion = sim.data["completion_s"]
+        assert set(completion) == {"d=20", "d=40", "d=60", "d=80", "moving"}
+        assert completion["d=80"] < completion["d=20"]
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig2.run()
+
+    def test_intermediate_plan_wins(self, report):
+        assert report.data["best"] == "ship-to-60m"
+
+    def test_overshooting_plan_crashes_with_nothing(self, report):
+        assert report.data["fractions"]["ship-to-20m"] == 0.0
+
+    def test_cautious_plan_delivers_something(self, report):
+        frac = report.data["fractions"]["transmit-now(d0=100m)"]
+        assert 0.1 < frac < 0.5
+
+    def test_expected_fractions_bounded(self, report):
+        for value in report.data["expected_fractions"].values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestTable1:
+    def test_platforms_in_report(self):
+        report = table1.run()
+        assert report.data["airplane"].cruise_speed_mps == 10.0
+        assert report.data["quadrocopter"].can_hover
+        text = report.as_text()
+        assert "30 minutes" in text
+        assert "4.5 m/s" in text
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig8.run()
+
+    def test_both_scenarios_present(self, report):
+        assert set(report.data) == {"airplane", "quadrocopter"}
+
+    def test_dopt_increases_with_rho(self, report):
+        for scenario_data in report.data.values():
+            rhos = list(scenario_data)
+            dopts = [scenario_data[r]["decision"].distance_m for r in rhos]
+            assert all(b >= a - 1e-6 for a, b in zip(dopts, dopts[1:]))
+
+    def test_utility_positive_everywhere(self, report):
+        for scenario_data in report.data.values():
+            for entry in scenario_data.values():
+                assert (entry["utilities"] > 0).all()
+
+    def test_nominal_quad_utility_magnitude(self, report):
+        """Fig. 8 right panel peaks near 0.03."""
+        nominal_rho = 2.46e-4
+        decision = report.data["quadrocopter"][nominal_rho]["decision"]
+        assert 0.02 < decision.utility < 0.045
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig9.run()
+
+    def test_monotonicity_flags(self, report):
+        assert report.data["dopt_vs_speed_ok"]
+        assert report.data["u_vs_mdata_ok"]
+
+    def test_large_data_fast_uav_hits_floor(self, report):
+        point = report.data["points"][(45.0, 20.0)]
+        assert point["dopt_m"] == pytest.approx(20.0, abs=1.0)
+
+    def test_small_data_slow_uav_transmits_immediately(self, report):
+        point = report.data["points"][(5.0, 3.0)]
+        assert point["dopt_m"] == pytest.approx(300.0, abs=1.0)
+
+    def test_floor_utilities_increase_with_speed(self, report):
+        """Once dopt hits the floor, more speed raises U (paper text)."""
+        utilities = [
+            report.data["points"][(45.0, v)]["utility"] for v in (10.0, 15.0, 20.0)
+        ]
+        assert utilities == sorted(utilities)
+
+    def test_full_grid_present(self, report):
+        assert len(report.data["points"]) == 30

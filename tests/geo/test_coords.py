@@ -1,0 +1,84 @@
+"""Tests for geodetic and ENU coordinates."""
+
+import math
+
+import pytest
+
+from repro.geo import EnuPoint, GeoPoint, LocalFrame
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        p = GeoPoint(47.0, 8.0, 500.0)
+        assert p.lat_deg == 47.0
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-91.0, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, -181.0)
+
+
+class TestEnuPoint:
+    def test_horizontal_distance(self):
+        a = EnuPoint(0.0, 0.0, 0.0)
+        b = EnuPoint(3.0, 4.0, 12.0)
+        assert a.horizontal_distance_to(b) == pytest.approx(5.0)
+
+    def test_three_d_distance(self):
+        a = EnuPoint(0.0, 0.0, 0.0)
+        b = EnuPoint(3.0, 4.0, 12.0)
+        assert a.distance_to(b) == pytest.approx(13.0)
+
+    def test_distance_symmetry(self):
+        a = EnuPoint(1.0, 2.0, 3.0)
+        b = EnuPoint(-4.0, 5.0, 6.0)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_offset(self):
+        p = EnuPoint(1.0, 1.0, 1.0).offset(1.0, 2.0, 3.0)
+        assert (p.east_m, p.north_m, p.up_m) == (2.0, 3.0, 4.0)
+
+    def test_bearing_north_is_zero(self):
+        a = EnuPoint(0.0, 0.0)
+        assert a.bearing_to(EnuPoint(0.0, 10.0)) == pytest.approx(0.0)
+
+    def test_bearing_east_is_quarter_turn(self):
+        a = EnuPoint(0.0, 0.0)
+        assert a.bearing_to(EnuPoint(10.0, 0.0)) == pytest.approx(math.pi / 2)
+
+
+class TestLocalFrame:
+    def test_round_trip_is_identity(self):
+        frame = LocalFrame(GeoPoint(47.3769, 8.5417, 400.0))
+        original = EnuPoint(123.4, -56.7, 89.0)
+        geo = frame.to_geodetic(original)
+        back = frame.to_enu(geo)
+        assert back.east_m == pytest.approx(original.east_m, abs=1e-6)
+        assert back.north_m == pytest.approx(original.north_m, abs=1e-6)
+        assert back.up_m == pytest.approx(original.up_m, abs=1e-9)
+
+    def test_origin_maps_to_zero(self):
+        origin = GeoPoint(47.0, 8.0, 100.0)
+        frame = LocalFrame(origin)
+        enu = frame.to_enu(origin)
+        assert enu.east_m == pytest.approx(0.0)
+        assert enu.north_m == pytest.approx(0.0)
+        assert enu.up_m == pytest.approx(0.0)
+
+    def test_north_displacement(self):
+        frame = LocalFrame(GeoPoint(47.0, 8.0))
+        # One degree of latitude is roughly 111 km.
+        north = frame.to_enu(GeoPoint(48.0, 8.0))
+        assert north.north_m == pytest.approx(111_194, rel=0.01)
+        assert abs(north.east_m) < 1.0
+
+    def test_polar_frame_rejected(self):
+        with pytest.raises(ValueError):
+            LocalFrame(GeoPoint(90.0, 0.0))

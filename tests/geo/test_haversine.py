@@ -1,0 +1,66 @@
+"""Tests for the Haversine / slant-range formulas."""
+
+import pytest
+
+from repro.geo import GeoPoint, LocalFrame, haversine_m, slant_range_m
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(47.0, 8.0)
+        assert haversine_m(p, p) == 0.0
+
+    def test_symmetry(self):
+        a = GeoPoint(47.0, 8.0)
+        b = GeoPoint(47.1, 8.2)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a))
+
+    def test_one_degree_latitude(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(1.0, 0.0)
+        assert haversine_m(a, b) == pytest.approx(111_195, rel=0.001)
+
+    def test_equator_one_degree_longitude(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 1.0)
+        assert haversine_m(a, b) == pytest.approx(111_195, rel=0.001)
+
+    def test_longitude_shrinks_with_latitude(self):
+        eq = haversine_m(GeoPoint(0.0, 0.0), GeoPoint(0.0, 1.0))
+        high = haversine_m(GeoPoint(60.0, 0.0), GeoPoint(60.0, 1.0))
+        assert high == pytest.approx(eq / 2.0, rel=0.01)
+
+    def test_antipodal_does_not_crash(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        # Half the Earth's circumference.
+        assert haversine_m(a, b) == pytest.approx(20_015_087, rel=0.001)
+
+    def test_matches_local_frame_for_short_ranges(self):
+        frame = LocalFrame(GeoPoint(47.3769, 8.5417))
+        a = GeoPoint(47.3769, 8.5417)
+        from repro.geo import EnuPoint
+
+        b = frame.to_geodetic(EnuPoint(300.0, 400.0, 0.0))
+        assert haversine_m(a, b) == pytest.approx(500.0, rel=0.001)
+
+
+class TestSlantRange:
+    def test_pure_altitude_difference(self):
+        a = GeoPoint(47.0, 8.0, 80.0)
+        b = GeoPoint(47.0, 8.0, 100.0)
+        assert slant_range_m(a, b) == pytest.approx(20.0)
+
+    def test_combines_ground_and_altitude(self):
+        frame = LocalFrame(GeoPoint(47.0, 8.0))
+        from repro.geo import EnuPoint
+
+        a = GeoPoint(47.0, 8.0, 0.0)
+        b = frame.to_geodetic(EnuPoint(30.0, 40.0, 0.0))
+        b = GeoPoint(b.lat_deg, b.lon_deg, 120.0)
+        assert slant_range_m(a, b) == pytest.approx(130.0, rel=0.001)
+
+    def test_at_least_ground_distance(self):
+        a = GeoPoint(47.0, 8.0, 80.0)
+        b = GeoPoint(47.001, 8.001, 100.0)
+        assert slant_range_m(a, b) >= haversine_m(a, b)

@@ -1,0 +1,102 @@
+"""Tests for waypoints, traces, and relative-motion series."""
+
+import pytest
+
+from repro.geo import (
+    EnuPoint,
+    Trace,
+    Waypoint,
+    relative_distance_series,
+    relative_speed_series,
+)
+
+
+class TestWaypoint:
+    def test_defaults(self):
+        wp = Waypoint(EnuPoint(0, 0, 10))
+        assert wp.hold_s == 0.0
+        assert wp.speed_mps is None
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            Waypoint(EnuPoint(0, 0), hold_s=-1.0)
+
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Waypoint(EnuPoint(0, 0), speed_mps=0.0)
+
+    def test_non_positive_acceptance_rejected(self):
+        with pytest.raises(ValueError):
+            Waypoint(EnuPoint(0, 0), acceptance_radius_m=0.0)
+
+
+class TestTrace:
+    def _linear_trace(self):
+        trace = Trace("t")
+        for i in range(11):
+            trace.record(float(i), EnuPoint(float(i * 10), 0.0, 50.0), 10.0)
+        return trace
+
+    def test_record_requires_increasing_time(self):
+        trace = Trace("t")
+        trace.record(1.0, EnuPoint(0, 0))
+        with pytest.raises(ValueError):
+            trace.record(1.0, EnuPoint(1, 0))
+
+    def test_duration(self):
+        assert self._linear_trace().duration_s == 10.0
+        assert Trace("e").duration_s == 0.0
+
+    def test_position_interpolation(self):
+        trace = self._linear_trace()
+        p = trace.position_at(2.5)
+        assert p.east_m == pytest.approx(25.0)
+
+    def test_position_clamped_at_ends(self):
+        trace = self._linear_trace()
+        assert trace.position_at(-5.0).east_m == 0.0
+        assert trace.position_at(99.0).east_m == 100.0
+
+    def test_position_on_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            Trace("e").position_at(0.0)
+
+    def test_path_length(self):
+        assert self._linear_trace().path_length_m() == pytest.approx(100.0)
+
+    def test_altitude_range(self):
+        trace = self._linear_trace()
+        assert trace.altitude_range_m() == (50.0, 50.0)
+
+    def test_speeds_recorded(self):
+        assert list(self._linear_trace().speeds()) == [10.0] * 11
+
+
+class TestRelativeSeries:
+    def _two_traces(self):
+        a = Trace("a")
+        b = Trace("b")
+        for i in range(11):
+            a.record(float(i), EnuPoint(float(i * 10), 0.0, 0.0))
+            b.record(float(i), EnuPoint(0.0, 0.0, 0.0))
+        return a, b
+
+    def test_relative_distance_series(self):
+        a, b = self._two_traces()
+        series = relative_distance_series(a, b, step_s=1.0)
+        assert series[0][1] == pytest.approx(0.0)
+        assert series[-1][1] == pytest.approx(100.0)
+
+    def test_relative_speed_series_constant_separation_rate(self):
+        a, b = self._two_traces()
+        speeds = relative_speed_series(a, b, step_s=1.0)
+        assert all(s == pytest.approx(10.0) for _, s in speeds)
+
+    def test_non_overlapping_traces_give_empty_series(self):
+        a = Trace("a")
+        a.record(0.0, EnuPoint(0, 0))
+        a.record(1.0, EnuPoint(1, 0))
+        b = Trace("b")
+        b.record(5.0, EnuPoint(0, 0))
+        b.record(6.0, EnuPoint(1, 0))
+        assert relative_distance_series(a, b) == []

@@ -1,0 +1,81 @@
+"""Tests for the heterogeneous ferry-chain planner."""
+
+import pytest
+
+from repro.geo import EnuPoint
+from repro.mission import FerryChainPlanner
+
+GROUND = EnuPoint(0.0, 0.0, 0.0)
+
+
+@pytest.fixture
+def planner():
+    return FerryChainPlanner()
+
+
+class TestDirectPlan:
+    def test_within_range_is_single_link(self, planner):
+        sensor = EnuPoint(90.0, 0.0, 10.0)
+        plan = planner.direct_plan(sensor, GROUND)
+        assert len(plan.hops) == 1
+        assert plan.hops[0].silent_m == 0.0
+        # Matches the plain scenario solution for d0 ~ 90.
+        assert plan.total_delay_s < 60.0
+
+    def test_out_of_range_adds_silent_leg(self, planner):
+        sensor = EnuPoint(2000.0, 0.0, 10.0)
+        plan = planner.direct_plan(sensor, GROUND)
+        hop = plan.hops[0]
+        assert hop.silent_m == pytest.approx(
+            2000.0 - planner.sensor_scenario.contact_distance_m, abs=1.0
+        )
+        # Silent ferrying at 4.5 m/s dominates the delay.
+        assert plan.total_delay_s > 400.0
+
+    def test_silent_leg_costs_survival(self, planner):
+        near = planner.direct_plan(EnuPoint(90.0, 0.0, 10.0), GROUND)
+        far = planner.direct_plan(EnuPoint(2000.0, 0.0, 10.0), GROUND)
+        assert far.total_survival < near.total_survival
+
+
+class TestFerriedPlan:
+    def test_two_hops(self, planner):
+        plan = planner.ferried_plan(
+            EnuPoint(2000.0, 0.0, 10.0), EnuPoint(1900.0, 0.0, 80.0), GROUND
+        )
+        assert [h.carrier for h in plan.hops] == ["sensor", "ferry"]
+
+    def test_fast_ferry_beats_slow_direct_over_long_haul(self, planner):
+        """The airplane covers the silent leg at 10 m/s vs 4.5 m/s."""
+        sensor = EnuPoint(2000.0, 0.0, 10.0)
+        ferry = EnuPoint(1900.0, 0.0, 80.0)
+        direct = planner.direct_plan(sensor, GROUND)
+        ferried = planner.ferried_plan(sensor, ferry, GROUND)
+        assert ferried.total_delay_s < direct.total_delay_s
+        assert ferried.total_survival > direct.total_survival
+        assert planner.best_plan(sensor, ferry, GROUND).name == "ferried"
+
+    def test_direct_wins_at_short_range(self, planner):
+        """Within radio range, a second transmission is pure overhead."""
+        sensor = EnuPoint(90.0, 0.0, 10.0)
+        ferry = EnuPoint(60.0, 0.0, 80.0)
+        assert planner.best_plan(sensor, ferry, GROUND).name == "direct"
+
+    def test_chain_utility_definition(self, planner):
+        plan = planner.ferried_plan(
+            EnuPoint(1500.0, 0.0, 10.0), EnuPoint(1000.0, 0.0, 80.0), GROUND
+        )
+        assert plan.utility == pytest.approx(
+            plan.total_survival / plan.total_delay_s
+        )
+
+    def test_closer_ferry_to_sensor_is_better(self, planner):
+        """Less slow-platform flying, more fast-platform flying."""
+        sensor = EnuPoint(2000.0, 0.0, 10.0)
+        near_sensor = planner.ferried_plan(
+            sensor, EnuPoint(1900.0, 0.0, 80.0), GROUND
+        )
+        far_from_sensor = planner.ferried_plan(
+            sensor, EnuPoint(500.0, 0.0, 80.0), GROUND
+        )
+        assert near_sensor.total_delay_s < far_from_sensor.total_delay_s

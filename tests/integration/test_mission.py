@@ -1,0 +1,89 @@
+"""Integration tests for the end-to-end SAR mission simulation."""
+
+import pytest
+
+from repro.core import airplane_scenario
+from repro.geo import EnuPoint
+from repro.mission import POLICIES, SarMissionSim, lawnmower_waypoints, strip_width_m
+from repro.core.mission import CameraModel
+
+
+class TestLawnmower:
+    def test_strip_width_is_footprint_short_side(self):
+        camera = CameraModel()
+        width = strip_width_m(camera, 10.0)
+        # FOV 12.74 m at 16:9 -> short side ~6.2 m.
+        assert width == pytest.approx(6.2, abs=0.3)
+
+    def test_covers_all_strips(self):
+        wps = lawnmower_waypoints(EnuPoint(0, 0, 10), 100.0, 100.0, 10.0, 10.0)
+        assert len(wps) == 20  # 10 strips x 2 ends
+        norths = sorted({wp.position.north_m for wp in wps})
+        assert norths[0] == pytest.approx(5.0)
+        assert norths[-1] <= 100.0
+
+    def test_alternating_direction(self):
+        wps = lawnmower_waypoints(EnuPoint(0, 0, 10), 100.0, 30.0, 10.0, 10.0)
+        # Strip 1 ends east, strip 2 starts east (no dead leg).
+        assert wps[1].position.east_m == wps[2].position.east_m
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lawnmower_waypoints(EnuPoint(0, 0, 10), 0.0, 10.0, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            lawnmower_waypoints(EnuPoint(0, 0, 10), 10.0, 10.0, 10.0, 0.0)
+
+
+class TestSarMission:
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        sim = SarMissionSim(seed=3, failure_rate_per_m=3e-3, sector_side_m=60.0)
+        return {p: sim.run(p, n_episodes=12) for p in POLICIES}
+
+    def test_all_policies_run_requested_episodes(self, summaries):
+        assert all(s.n_episodes == 12 for s in summaries.values())
+
+    def test_immediate_policy_survives_most(self, summaries):
+        """No (or the shortest) ferry leg means the fewest crashes."""
+        assert summaries["immediate"].failure_rate <= min(
+            summaries["optimal"].failure_rate,
+            summaries["closest"].failure_rate,
+        ) + 1e-9
+
+    def test_closest_policy_fastest_when_it_survives(self, summaries):
+        assert (
+            summaries["closest"].mean_communication_delay_s
+            <= summaries["immediate"].mean_communication_delay_s
+        )
+
+    def test_optimal_distance_between_extremes(self, summaries):
+        d_opt = summaries["optimal"].episodes[0].transmit_distance_m
+        d_closest = summaries["closest"].episodes[0].transmit_distance_m
+        d_immediate = summaries["immediate"].episodes[0].transmit_distance_m
+        assert d_closest <= d_opt <= d_immediate
+
+    def test_realized_utility_is_sane(self, summaries):
+        for summary in summaries.values():
+            assert 0.0 <= summary.mean_realized_utility < 1.0
+
+    def test_optimal_not_dominated(self, summaries):
+        """The planner's choice is never strictly the worst."""
+        utilities = {p: s.mean_realized_utility for p, s in summaries.items()}
+        assert utilities["optimal"] >= min(utilities.values())
+
+    def test_delivered_fraction_bounds(self, summaries):
+        for summary in summaries.values():
+            for episode in summary.episodes:
+                assert 0.0 <= episode.delivered_fraction <= 1.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SarMissionSim(seed=1).run("teleport", n_episodes=1)
+
+    def test_airplane_scenario_also_works(self):
+        sim = SarMissionSim(
+            scenario=airplane_scenario(), seed=2, sector_side_m=120.0,
+            failure_rate_per_m=1e-3,
+        )
+        summary = sim.run("optimal", n_episodes=2)
+        assert summary.n_episodes == 2

@@ -1,0 +1,73 @@
+"""Integration tests: the full paper pipeline, end to end.
+
+campaign -> boxplot medians -> log2 fit -> delay model -> utility ->
+optimiser, and the strategy replays over the simulated link.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CommunicationDelayModel,
+    DelayedGratificationUtility,
+    DistanceOptimizer,
+    ExponentialFailure,
+    HoverAndTransmit,
+)
+from repro.measurements import QuadHoverCampaign, fit_log2
+
+
+class TestCampaignToOptimizerPipeline:
+    """The paper's own workflow: measure, fit, optimise."""
+
+    @pytest.fixture(scope="class")
+    def fitted_model(self):
+        campaign = QuadHoverCampaign(
+            seed=4,
+            distances_m=(20.0, 40.0, 60.0, 80.0),
+            duration_s=30.0,
+            n_replicas=2,
+        )
+        result = campaign.run()
+        medians = result.medians_mbps()
+        return fit_log2(list(medians.keys()), list(medians.values()))
+
+    def test_fit_resembles_paper_coefficients(self, fitted_model):
+        assert fitted_model.slope_mbps_per_octave == pytest.approx(-10.5, abs=3.5)
+        assert fitted_model.intercept_mbps == pytest.approx(73.0, abs=18.0)
+        assert fitted_model.r_squared > 0.85
+
+    def test_optimiser_runs_on_fitted_throughput(self, fitted_model):
+        class FittedThroughput:
+            def __init__(self, fit):
+                self._fit = fit
+
+            def throughput_bps(self, d):
+                return max(1e3, self._fit.throughput_bps(d))
+
+            def throughput_bps_moving(self, d, v):
+                return self.throughput_bps(d) * np.exp(-v / 7.0)
+
+        delay = CommunicationDelayModel(FittedThroughput(fitted_model), 20.0)
+        utility = DelayedGratificationUtility(delay, ExponentialFailure(2.46e-4))
+        decision = DistanceOptimizer(utility).optimize(100.0, 4.5, 56.2 * 8e6)
+        # The fitted channel should give the same qualitative answer as
+        # the paper's fit: close the gap (dopt near the floor).
+        assert decision.distance_m < 40.0
+
+    def test_fitted_strategy_replay_prefers_closing(self, fitted_model):
+        class FittedThroughput:
+            def __init__(self, fit):
+                self._fit = fit
+
+            def throughput_bps(self, d):
+                return max(1e3, self._fit.throughput_bps(d))
+
+            def throughput_bps_moving(self, d, v):
+                return self.throughput_bps(d) * np.exp(-v / 7.0)
+
+        model = FittedThroughput(fitted_model)
+        bits = 56.2 * 8e6
+        near = HoverAndTransmit(model, 20.0).execute(100.0, 4.5, bits)
+        far = HoverAndTransmit(model, 100.0).execute(100.0, 4.5, bits)
+        assert near.completion_time_s < far.completion_time_s

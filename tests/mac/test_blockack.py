@@ -1,0 +1,72 @@
+"""Tests for the block-ack scoreboard."""
+
+import pytest
+
+from repro.mac import BlockAckScoreboard
+
+
+class TestScoreboard:
+    def test_allocates_fresh_sequences(self):
+        sb = BlockAckScoreboard(window_size=8)
+        assert sb.next_batch(4) == [0, 1, 2, 3]
+
+    def test_retransmits_unacked_first(self):
+        sb = BlockAckScoreboard(window_size=8)
+        sb.next_batch(4)
+        sb.acknowledge([0, 2])
+        batch = sb.next_batch(4)
+        assert batch[:2] == [1, 3]
+
+    def test_window_slides_on_in_order_ack(self):
+        sb = BlockAckScoreboard(window_size=4)
+        sb.next_batch(4)
+        sb.acknowledge([0, 1])
+        assert sb.window_start == 2
+        assert sb.completed == 2
+
+    def test_window_blocks_until_head_acked(self):
+        sb = BlockAckScoreboard(window_size=4)
+        sb.next_batch(4)
+        sb.acknowledge([1, 2, 3])
+        assert sb.window_start == 0
+        # The window is full of un-slid sequences; only seq 0 pending.
+        assert sb.next_batch(4) == [0]
+        sb.acknowledge([0])
+        assert sb.window_start == 4
+
+    def test_stale_acks_ignored(self):
+        sb = BlockAckScoreboard(window_size=4)
+        sb.next_batch(2)
+        assert sb.acknowledge([10, -1]) == 0
+
+    def test_duplicate_acks_counted_once(self):
+        sb = BlockAckScoreboard(window_size=4)
+        sb.next_batch(2)
+        assert sb.acknowledge([0]) == 1
+        assert sb.acknowledge([0]) == 0
+
+    def test_capacity_accounting(self):
+        sb = BlockAckScoreboard(window_size=4)
+        assert sb.in_flight_capacity == 4
+        sb.next_batch(3)
+        assert sb.in_flight_capacity == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            BlockAckScoreboard(window_size=0)
+
+    def test_invalid_batch_count_rejected(self):
+        with pytest.raises(ValueError):
+            BlockAckScoreboard().next_batch(0)
+
+    def test_full_cycle_delivers_everything(self):
+        sb = BlockAckScoreboard(window_size=8)
+        import random
+
+        rng = random.Random(1)
+        target = 100
+        while sb.completed < target:
+            batch = sb.next_batch(8)
+            delivered = [seq for seq in batch if rng.random() > 0.3]
+            sb.acknowledge(delivered)
+        assert sb.completed >= target

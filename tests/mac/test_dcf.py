@@ -1,0 +1,56 @@
+"""Tests for DCF timing."""
+
+import pytest
+
+from repro.mac import DcfTiming, legacy_frame_duration_s
+
+
+class TestDcfTiming:
+    def test_difs_formula(self):
+        timing = DcfTiming()
+        assert timing.difs_s == pytest.approx(16e-6 + 2 * 9e-6)
+
+    def test_mean_backoff_first_attempt(self):
+        timing = DcfTiming(cw_min=15)
+        assert timing.mean_backoff_s(0) == pytest.approx(7.5 * 9e-6)
+
+    def test_backoff_doubles_per_retry(self):
+        timing = DcfTiming(cw_min=15, cw_max=1023)
+        assert timing.mean_backoff_s(1) == pytest.approx(15.5 * 9e-6)
+        assert timing.mean_backoff_s(2) == pytest.approx(31.5 * 9e-6)
+
+    def test_backoff_caps_at_cw_max(self):
+        timing = DcfTiming(cw_min=15, cw_max=63)
+        assert timing.mean_backoff_s(10) == pytest.approx(31.5 * 9e-6)
+
+    def test_exchange_overhead_combines(self):
+        timing = DcfTiming()
+        assert timing.exchange_overhead_s() == pytest.approx(
+            timing.difs_s + timing.mean_backoff_s(0)
+        )
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(ValueError):
+            DcfTiming().mean_backoff_s(-1)
+
+    def test_invalid_cw_rejected(self):
+        with pytest.raises(ValueError):
+            DcfTiming(cw_min=0)
+        with pytest.raises(ValueError):
+            DcfTiming(cw_min=64, cw_max=15)
+
+
+class TestLegacyFrames:
+    def test_block_ack_duration(self):
+        # 32-byte BlockAck at 24 Mb/s: preamble 20 us + 3 symbols.
+        dur = legacy_frame_duration_s(32, 24e6)
+        assert dur == pytest.approx(20e-6 + 3 * 4e-6)
+
+    def test_faster_rate_shorter(self):
+        assert legacy_frame_duration_s(200, 54e6) < legacy_frame_duration_s(200, 6e6)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            legacy_frame_duration_s(0)
+        with pytest.raises(ValueError):
+            legacy_frame_duration_s(32, 0.0)

@@ -1,0 +1,37 @@
+"""Tests for MPDU byte accounting."""
+
+import pytest
+
+from repro.mac import MpduLayout
+
+
+class TestMpduLayout:
+    def test_default_payload(self):
+        layout = MpduLayout()
+        assert layout.app_payload_bytes == 1472
+
+    def test_ip_packet_adds_headers(self):
+        layout = MpduLayout(app_payload_bytes=1472)
+        assert layout.ip_packet_bytes == 1500
+
+    def test_mpdu_adds_mac_llc_fcs(self):
+        layout = MpduLayout(app_payload_bytes=1472)
+        assert layout.mpdu_bytes == 1500 + 26 + 8 + 4
+
+    def test_subframe_padded_to_four_bytes(self):
+        layout = MpduLayout(app_payload_bytes=1472)
+        assert layout.subframe_bytes % 4 == 0
+        assert layout.subframe_bytes >= layout.mpdu_bytes + 4
+
+    def test_efficiency_below_one(self):
+        layout = MpduLayout()
+        assert 0.9 < layout.efficiency < 1.0
+
+    def test_small_payload_efficiency_lower(self):
+        small = MpduLayout(app_payload_bytes=100)
+        large = MpduLayout(app_payload_bytes=1472)
+        assert small.efficiency < large.efficiency
+
+    def test_non_positive_payload_rejected(self):
+        with pytest.raises(ValueError):
+            MpduLayout(app_payload_bytes=0)

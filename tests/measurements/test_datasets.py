@@ -1,0 +1,69 @@
+"""Tests for the transcribed paper datasets."""
+
+import pytest
+
+from repro.measurements import (
+    AIRPLANE_FIT,
+    FIG1_CROSSOVER_MB,
+    FIG1_HOVER_RATES_MBPS,
+    FIG5_DISTANCES_M,
+    FIG6_BEST_MCS_REGIONS,
+    FIG6_DISTANCES_M,
+    FIG7_HOVER_DISTANCES_M,
+    MIN_SAFE_SEPARATION_M,
+    QUADROCOPTER_FIT,
+)
+
+
+class TestPaperFits:
+    def test_airplane_fit_coefficients(self):
+        assert AIRPLANE_FIT.slope_mbps_per_octave == -5.56
+        assert AIRPLANE_FIT.intercept_mbps == 49.0
+        assert AIRPLANE_FIT.r_squared == 0.90
+
+    def test_quadrocopter_fit_coefficients(self):
+        assert QUADROCOPTER_FIT.slope_mbps_per_octave == -10.5
+        assert QUADROCOPTER_FIT.intercept_mbps == 73.0
+        assert QUADROCOPTER_FIT.r_squared == 0.96
+
+    def test_fit_evaluation(self):
+        assert AIRPLANE_FIT.throughput_bps(20.0) == pytest.approx(24.97e6, rel=1e-3)
+
+    def test_fit_clamped_at_zero(self):
+        assert QUADROCOPTER_FIT.throughput_bps(1e5) == 0.0
+
+    def test_fit_rejects_non_positive_distance(self):
+        with pytest.raises(ValueError):
+            AIRPLANE_FIT.throughput_bps(0.0)
+
+    def test_quad_link_degrades_faster_per_octave(self):
+        assert abs(QUADROCOPTER_FIT.slope_mbps_per_octave) > abs(
+            AIRPLANE_FIT.slope_mbps_per_octave
+        )
+
+
+class TestFigureConstants:
+    def test_fig1_rates_decrease_with_distance(self):
+        rates = [FIG1_HOVER_RATES_MBPS[d] for d in sorted(FIG1_HOVER_RATES_MBPS)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_fig1_crossover_is_positive(self):
+        assert FIG1_CROSSOVER_MB > 0
+
+    def test_fig5_distance_bins(self):
+        assert FIG5_DISTANCES_M[0] == 20
+        assert FIG5_DISTANCES_M[-1] == 320
+        assert all(b - a == 20 for a, b in zip(FIG5_DISTANCES_M, FIG5_DISTANCES_M[1:]))
+
+    def test_fig6_regions_cover_range_without_overlap(self):
+        spans = sorted(FIG6_BEST_MCS_REGIONS)
+        assert spans[0][0] == FIG6_DISTANCES_M[0]
+        assert spans[-1][1] == FIG6_DISTANCES_M[-1]
+        for (a0, a1, _), (b0, b1, _) in zip(spans, spans[1:]):
+            assert a1 < b0
+
+    def test_fig7_distances(self):
+        assert FIG7_HOVER_DISTANCES_M == [20, 40, 60, 80]
+
+    def test_min_separation(self):
+        assert MIN_SAFE_SEPARATION_M == 20.0

@@ -1,0 +1,63 @@
+"""Tests for log2 fitting and R^2."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.measurements import Log2Fit, fit_log2, r_squared
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        obs = [1.0, 2.0, 3.0]
+        pred = [2.0, 2.0, 2.0]
+        assert r_squared(obs, pred) == pytest.approx(0.0)
+
+    def test_constant_observed(self):
+        assert r_squared([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r_squared([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            r_squared([1.0], [1.0, 2.0])
+
+
+class TestFitLog2:
+    def test_recovers_exact_law(self):
+        distances = [20, 40, 80, 160, 320]
+        values = [-5.56 * math.log2(d) + 49.0 for d in distances]
+        fit = fit_log2(distances, values)
+        assert fit.slope_mbps_per_octave == pytest.approx(-5.56, rel=1e-9)
+        assert fit.intercept_mbps == pytest.approx(49.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_r2_below_one(self):
+        rng = np.random.default_rng(1)
+        distances = np.arange(20, 320, 20)
+        values = -5.56 * np.log2(distances) + 49.0 + rng.normal(0, 2.0, len(distances))
+        fit = fit_log2(distances, values)
+        assert 0.5 < fit.r_squared < 1.0
+        assert fit.slope_mbps_per_octave == pytest.approx(-5.56, abs=1.5)
+
+    def test_prediction_methods(self):
+        fit = Log2Fit(-10.5, 73.0, 0.96, 4)
+        assert fit.throughput_mbps(20.0) == pytest.approx(27.6, rel=0.01)
+        assert fit.throughput_bps(20.0) == pytest.approx(27.6e6, rel=0.01)
+
+    def test_prediction_clamped_at_zero(self):
+        fit = Log2Fit(-10.5, 73.0, 0.96, 4)
+        assert fit.throughput_mbps(1e6) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_log2([10.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_log2([10.0, -1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_log2([10.0, 20.0], [1.0])
+        with pytest.raises(ValueError):
+            Log2Fit(-1.0, 1.0, 1.0, 2).throughput_mbps(0.0)

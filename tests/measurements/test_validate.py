@@ -1,0 +1,42 @@
+"""Tests for the calibration validator."""
+
+import pytest
+
+from repro.measurements import CalibrationCheck, validate_calibration
+
+
+class TestCalibrationCheck:
+    def test_passed_within_tolerance(self):
+        check = CalibrationCheck("x", 10.0, 10.5, tolerance=1.0)
+        assert check.passed
+        assert check.deviation == pytest.approx(0.5)
+
+    def test_failed_outside_tolerance(self):
+        check = CalibrationCheck("x", 10.0, 12.5, tolerance=1.0)
+        assert not check.passed
+
+
+class TestValidateCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Reduced-scale run; the CLI runs the full version.
+        return validate_calibration(seed=11, n_passes=4, hover_duration_s=25.0)
+
+    def test_all_anchors_pass(self, report):
+        """The shipped calibration matches the paper's fits."""
+        assert report.all_passed, "\n".join(report.summary_lines())
+
+    def test_six_checks_present(self, report):
+        assert len(report.checks) == 6
+
+    def test_fits_carried_in_report(self, report):
+        assert report.airplane_fit.slope_mbps_per_octave < 0
+        assert report.quadrocopter_fit.slope_mbps_per_octave < 0
+
+    def test_summary_lines_format(self, report):
+        lines = report.summary_lines()
+        assert len(lines) == 6
+        assert all(line.startswith("[") for line in lines)
+
+    def test_failures_empty_when_passed(self, report):
+        assert report.failures() == []

@@ -1,0 +1,116 @@
+"""Tests for the event-driven link engine and fluid cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.channel import AerialChannel, airplane_profile, quadrocopter_profile
+from repro.net import DetailedLink, ImageBatch, UdpTransfer, WirelessLink
+from repro.phy import ArfController, FixedMcs
+from repro.sim import RandomStreams
+
+
+def make_detailed(profile=None, controller=None, seed=5, **kwargs):
+    streams = RandomStreams(seed)
+    return DetailedLink(
+        AerialChannel(
+            profile if profile is not None else quadrocopter_profile(), streams
+        ),
+        controller if controller is not None else ArfController(),
+        streams=streams,
+        **kwargs,
+    )
+
+
+class TestDetailedTransfer:
+    def test_completes_and_accounts(self):
+        link = make_detailed()
+        result = link.transfer(2_000_000, lambda t: 30.0)
+        assert result.completion_time_s > 0
+        assert result.subframes_delivered <= result.subframes_sent
+        assert 0.0 < result.delivery_ratio <= 1.0
+
+    def test_every_mpdu_latency_recorded(self):
+        link = make_detailed()
+        payload = link.mac.config.layout.app_payload_bytes
+        n_mpdus = 100
+        result = link.transfer(n_mpdus * payload, lambda t: 30.0)
+        # Acks may be recorded more than once is impossible (scoreboard),
+        # but duplicate deliveries of the same seq can add latencies;
+        # at least one latency per MPDU must exist.
+        assert len(result.mpdu_latencies_s) >= n_mpdus
+
+    def test_latencies_positive(self):
+        link = make_detailed()
+        result = link.transfer(1_000_000, lambda t: 40.0)
+        assert all(lat > 0 for lat in result.mpdu_latencies_s)
+
+    def test_far_distance_slower_with_retx(self):
+        near = make_detailed(seed=7).transfer(1_000_000, lambda t: 20.0)
+        far = make_detailed(seed=7).transfer(1_000_000, lambda t: 80.0)
+        assert far.completion_time_s > near.completion_time_s
+        assert far.retransmissions >= near.retransmissions
+
+    def test_deadline_caps_runtime(self):
+        link = make_detailed()
+        result = link.transfer(100_000_000, lambda t: 90.0, deadline_s=2.0)
+        assert result.completion_time_s == pytest.approx(2.0, abs=0.1)
+
+    def test_latency_grows_with_loss(self):
+        """Retransmission delays stretch the per-MPDU latency tail."""
+        near = make_detailed(seed=9).transfer(1_000_000, lambda t: 20.0)
+        far = make_detailed(seed=9).transfer(1_000_000, lambda t: 70.0)
+        assert (
+            far.latency_stats().median >= near.latency_stats().median
+        )
+
+    def test_validation(self):
+        link = make_detailed()
+        with pytest.raises(ValueError):
+            link.transfer(0, lambda t: 30.0)
+        with pytest.raises(ValueError):
+            link.transfer(1000, lambda t: 30.0, deadline_s=0.0)
+
+
+class TestFluidCrossValidation:
+    """The correctness argument for the fast epoch-based engine."""
+
+    @pytest.mark.parametrize("distance", [20.0, 40.0, 60.0])
+    def test_quad_goodput_agreement(self, distance):
+        data = 4_000_000
+        detailed_times = []
+        fluid_times = []
+        for seed in (3, 5, 11):
+            det = make_detailed(seed=seed)
+            detailed_times.append(
+                det.transfer(data, lambda t: distance).completion_time_s
+            )
+            streams = RandomStreams(seed)
+            fluid = WirelessLink(
+                AerialChannel(quadrocopter_profile(), streams),
+                ArfController(),
+                streams=streams,
+            )
+            fluid_times.append(
+                UdpTransfer(fluid, ImageBatch(0, data)).run(
+                    0.0, lambda t: distance
+                )
+            )
+        det_mean = np.mean(detailed_times)
+        fluid_mean = np.mean(fluid_times)
+        assert det_mean == pytest.approx(fluid_mean, rel=0.5)
+
+    def test_airplane_fixed_mcs_agreement(self):
+        data = 4_000_000
+        det = make_detailed(
+            profile=airplane_profile(), controller=FixedMcs(3), seed=3
+        )
+        det_time = det.transfer(data, lambda t: 60.0).completion_time_s
+        streams = RandomStreams(3)
+        fluid = WirelessLink(
+            AerialChannel(airplane_profile(), streams), FixedMcs(3),
+            streams=streams,
+        )
+        fluid_time = UdpTransfer(fluid, ImageBatch(0, data)).run(
+            0.0, lambda t: 60.0
+        )
+        assert det_time == pytest.approx(fluid_time, rel=0.5)

@@ -1,0 +1,55 @@
+"""Tests for image batches and datagrams."""
+
+import pytest
+
+from repro.net import Datagram, ImageBatch
+
+
+class TestImageBatch:
+    def test_initial_state(self):
+        batch = ImageBatch(1, 1000)
+        assert batch.remaining_bytes == 1000
+        assert not batch.complete
+        assert batch.delivered_fraction == 0.0
+
+    def test_deliver_partial(self):
+        batch = ImageBatch(1, 1000)
+        accepted = batch.deliver(400)
+        assert accepted == 400
+        assert batch.remaining_bytes == 600
+        assert batch.delivered_fraction == pytest.approx(0.4)
+
+    def test_deliver_clamps_overshoot(self):
+        batch = ImageBatch(1, 1000)
+        accepted = batch.deliver(5000)
+        assert accepted == 1000
+        assert batch.complete
+
+    def test_negative_delivery_rejected(self):
+        with pytest.raises(ValueError):
+            ImageBatch(1, 1000).deliver(-1)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ValueError):
+            ImageBatch(1, 0)
+
+    def test_datagram_slicing(self):
+        batch = ImageBatch(7, 3000)
+        grams = batch.datagrams(payload_bytes=1472)
+        assert len(grams) == 3
+        assert sum(g.payload_bytes for g in grams) == 3000
+        assert grams[-1].payload_bytes == 3000 - 2 * 1472
+        assert [g.sequence for g in grams] == [0, 1, 2]
+        assert all(g.batch_id == 7 for g in grams)
+
+    def test_datagram_invalid_payload_rejected(self):
+        with pytest.raises(ValueError):
+            ImageBatch(1, 100).datagrams(payload_bytes=0)
+
+
+class TestDatagram:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Datagram(0, 0, 0)
+        with pytest.raises(ValueError):
+            Datagram(0, -1, 10)

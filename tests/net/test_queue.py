@@ -1,0 +1,60 @@
+"""Tests for the batch queue."""
+
+import pytest
+
+from repro.net import BatchQueue, ImageBatch
+
+
+class TestBatchQueue:
+    def test_enqueue_and_backlog(self):
+        q = BatchQueue()
+        q.enqueue(ImageBatch(1, 1000))
+        q.enqueue(ImageBatch(2, 500))
+        assert q.backlog_bytes == 1500
+        assert len(q) == 2
+
+    def test_fifo_drain_order(self):
+        q = BatchQueue()
+        first = ImageBatch(1, 1000)
+        second = ImageBatch(2, 1000)
+        q.enqueue(first)
+        q.enqueue(second)
+        q.deliver(1200)
+        assert first.complete
+        assert second.delivered_bytes == 200
+
+    def test_deliver_returns_accepted(self):
+        q = BatchQueue()
+        q.enqueue(ImageBatch(1, 100))
+        assert q.deliver(500) == 100
+        assert q.empty
+
+    def test_deliver_on_empty_queue(self):
+        assert BatchQueue().deliver(100) == 0
+
+    def test_capacity_drops_batches(self):
+        q = BatchQueue(capacity_bytes=1000)
+        assert q.enqueue(ImageBatch(1, 800))
+        assert not q.enqueue(ImageBatch(2, 300))
+        assert q.dropped_batches == 1
+        assert q.backlog_bytes == 800
+
+    def test_head_skips_completed(self):
+        q = BatchQueue()
+        first = ImageBatch(1, 100)
+        second = ImageBatch(2, 100)
+        q.enqueue(first)
+        q.enqueue(second)
+        first.deliver(100)
+        assert q.head() is second
+
+    def test_head_empty_is_none(self):
+        assert BatchQueue().head() is None
+
+    def test_negative_delivery_rejected(self):
+        with pytest.raises(ValueError):
+            BatchQueue().deliver(-1)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BatchQueue(capacity_bytes=0)

@@ -1,0 +1,71 @@
+"""Tests for finite UDP transfers."""
+
+import pytest
+
+from repro.channel import AerialChannel, quadrocopter_profile
+from repro.net import ImageBatch, UdpTransfer, WirelessLink
+from repro.phy import ArfController
+from repro.sim import RandomStreams
+
+
+def make_link(seed=1):
+    streams = RandomStreams(seed)
+    return WirelessLink(
+        AerialChannel(quadrocopter_profile(), streams),
+        ArfController(),
+        streams=streams,
+    )
+
+
+class TestUdpTransfer:
+    def test_completes_small_batch(self):
+        batch = ImageBatch(1, 500_000)
+        transfer = UdpTransfer(make_link(), batch)
+        end = transfer.run(0.0, lambda t: 20.0)
+        assert batch.complete
+        assert end > 0.0
+
+    def test_progress_curve_is_monotone(self):
+        batch = ImageBatch(1, 2_000_000)
+        transfer = UdpTransfer(make_link(), batch)
+        transfer.run(0.0, lambda t: 30.0)
+        values = transfer.progress.values
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] == batch.total_bytes
+
+    def test_deadline_cuts_transfer(self):
+        batch = ImageBatch(1, 100_000_000)
+        transfer = UdpTransfer(make_link(), batch)
+        end = transfer.run(0.0, lambda t: 80.0, deadline_s=2.0)
+        assert end == 2.0
+        assert not batch.complete
+        assert batch.delivered_bytes > 0
+
+    def test_closer_distance_finishes_faster(self):
+        near_batch = ImageBatch(1, 3_000_000)
+        far_batch = ImageBatch(2, 3_000_000)
+        near = UdpTransfer(make_link(seed=5), near_batch).run(0.0, lambda t: 20.0)
+        far = UdpTransfer(make_link(seed=5), far_batch).run(0.0, lambda t: 80.0)
+        assert near < far
+
+    def test_moving_slower_than_hovering(self):
+        hover_batch = ImageBatch(1, 3_000_000)
+        move_batch = ImageBatch(2, 3_000_000)
+        hover = UdpTransfer(make_link(seed=9), hover_batch).run(
+            0.0, lambda t: 40.0
+        )
+        moving = UdpTransfer(make_link(seed=9), move_batch).run(
+            0.0, lambda t: 40.0, speed_fn=lambda t: 10.0
+        )
+        assert moving > hover
+
+    def test_start_time_offsets_curve(self):
+        batch = ImageBatch(1, 500_000)
+        transfer = UdpTransfer(make_link(), batch)
+        end = transfer.run(12.0, lambda t: 20.0)
+        assert end > 12.0
+        assert transfer.progress.times[0] == 12.0
+
+    def test_invalid_record_interval_rejected(self):
+        with pytest.raises(ValueError):
+            UdpTransfer(make_link(), ImageBatch(1, 100), record_interval_s=0.0)

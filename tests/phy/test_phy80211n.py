@@ -1,0 +1,63 @@
+"""Tests for PHY timing (preambles, PPDU durations)."""
+
+import pytest
+
+from repro.phy import PhyConfig, get_mcs, ppdu_duration_s, preamble_duration_s
+
+
+class TestPhyConfig:
+    def test_symbol_duration_short_gi(self):
+        assert PhyConfig(short_gi=True).symbol_duration_s == pytest.approx(3.6e-6)
+
+    def test_symbol_duration_long_gi(self):
+        assert PhyConfig(short_gi=False).symbol_duration_s == pytest.approx(4.0e-6)
+
+    def test_data_rate_passthrough(self):
+        assert PhyConfig().data_rate_bps(3) == pytest.approx(60e6)
+
+
+class TestPreamble:
+    def test_single_stream_with_stbc_uses_two_ltfs(self):
+        entry = get_mcs(3)
+        with_stbc = preamble_duration_s(entry, stbc=True)
+        without = preamble_duration_s(entry, stbc=False)
+        assert with_stbc - without == pytest.approx(4e-6)
+
+    def test_two_stream_preamble(self):
+        # HT-mixed with 2 HT-LTFs: 8+8+4+8+4+8 = 40 us.
+        assert preamble_duration_s(get_mcs(8)) == pytest.approx(40e-6)
+
+    def test_one_stream_no_stbc(self):
+        assert preamble_duration_s(get_mcs(0), stbc=False) == pytest.approx(36e-6)
+
+
+class TestPpduDuration:
+    def test_empty_psdu_is_preamble_only(self):
+        assert ppdu_duration_s(0, 3) == pytest.approx(
+            preamble_duration_s(get_mcs(3))
+        )
+
+    def test_duration_grows_with_payload(self):
+        assert ppdu_duration_s(3000, 3) > ppdu_duration_s(1500, 3)
+
+    def test_faster_mcs_is_shorter(self):
+        assert ppdu_duration_s(14 * 1540, 7) < ppdu_duration_s(14 * 1540, 1)
+
+    def test_rounding_to_symbols(self):
+        config = PhyConfig()
+        dur = ppdu_duration_s(1, 0, config)
+        preamble = preamble_duration_s(get_mcs(0), config.stbc)
+        symbols = (dur - preamble) / config.symbol_duration_s
+        assert symbols == pytest.approx(round(symbols))
+
+    def test_payload_time_close_to_bits_over_rate(self):
+        psdu = 14 * 1540
+        config = PhyConfig()
+        dur = ppdu_duration_s(psdu, 3, config)
+        preamble = preamble_duration_s(get_mcs(3), config.stbc)
+        ideal = psdu * 8 / 60e6
+        assert dur - preamble == pytest.approx(ideal, rel=0.01)
+
+    def test_negative_psdu_rejected(self):
+        with pytest.raises(ValueError):
+            ppdu_duration_s(-1, 0)

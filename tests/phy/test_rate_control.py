@@ -1,0 +1,140 @@
+"""Tests for the rate-control algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.phy import (
+    ArfController,
+    BestMcsOracle,
+    ErrorModel,
+    FixedMcs,
+    MinstrelController,
+)
+from repro.phy.rate_control import DEFAULT_ARF_CHAIN
+
+
+class TestFixedMcs:
+    def test_always_returns_index(self):
+        ctrl = FixedMcs(3)
+        assert ctrl.select(0.0) == 3
+        ctrl.feedback(0.0, 3, 10, 0)
+        assert ctrl.select(1.0) == 3
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(KeyError):
+            FixedMcs(42)
+
+
+class TestBestMcsOracle:
+    def test_high_snr_prefers_fast_mcs(self):
+        oracle = BestMcsOracle(ErrorModel(), candidates=[1, 2, 3, 8])
+        assert oracle.select(0.0, snr_hint_db=30.0) == 3
+
+    def test_low_snr_prefers_robust_mcs(self):
+        oracle = BestMcsOracle(ErrorModel(), candidates=[1, 2, 3, 8])
+        choice = oracle.select(0.0, snr_hint_db=1.0)
+        assert choice in (1, 8)
+
+    def test_mcs8_wins_at_very_low_snr(self):
+        """The aerial calibration's long-range behaviour."""
+        oracle = BestMcsOracle(ErrorModel(), candidates=[1, 8])
+        assert oracle.select(0.0, snr_hint_db=0.0) == 8
+
+    def test_no_hint_repeats_last_choice(self):
+        oracle = BestMcsOracle(ErrorModel(), candidates=[1, 3])
+        first = oracle.select(0.0, snr_hint_db=30.0)
+        assert oracle.select(1.0) == first
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            BestMcsOracle(ErrorModel(), candidates=[])
+
+
+class TestArf:
+    def test_starts_at_chain_bottom(self):
+        assert ArfController().current_mcs == DEFAULT_ARF_CHAIN[0]
+
+    def test_climbs_after_clean_streak(self):
+        ctrl = ArfController(up_streak=3)
+        for i in range(3):
+            ctrl.feedback(float(i), ctrl.current_mcs, 10, 10)
+        assert ctrl.current_mcs == DEFAULT_ARF_CHAIN[1]
+
+    def test_steps_down_on_bad_burst(self):
+        ctrl = ArfController(up_streak=1, start_index=3)
+        top = ctrl.current_mcs
+        ctrl.feedback(0.0, top, 10, 1)
+        assert ctrl.chain.index(ctrl.current_mcs) == 2
+
+    def test_bad_burst_resets_streak(self):
+        ctrl = ArfController(up_streak=2)
+        ctrl.feedback(0.0, ctrl.current_mcs, 10, 10)
+        ctrl.feedback(1.0, ctrl.current_mcs, 10, 0)
+        ctrl.feedback(2.0, ctrl.current_mcs, 10, 10)
+        # One clean burst after the failure: not enough to climb.
+        assert ctrl.current_mcs == DEFAULT_ARF_CHAIN[0]
+
+    def test_does_not_fall_below_bottom(self):
+        ctrl = ArfController()
+        for i in range(5):
+            ctrl.feedback(float(i), ctrl.current_mcs, 10, 0)
+        assert ctrl.current_mcs == DEFAULT_ARF_CHAIN[0]
+
+    def test_does_not_climb_past_top(self):
+        ctrl = ArfController(up_streak=1, start_index=len(DEFAULT_ARF_CHAIN) - 1)
+        ctrl.feedback(0.0, ctrl.current_mcs, 10, 10)
+        assert ctrl.current_mcs == DEFAULT_ARF_CHAIN[-1]
+
+    def test_invalid_feedback_rejected(self):
+        with pytest.raises(ValueError):
+            ArfController().feedback(0.0, 0, 5, 6)
+
+    def test_zero_attempts_is_noop(self):
+        ctrl = ArfController()
+        ctrl.feedback(0.0, 0, 0, 0)
+        assert ctrl.current_mcs == DEFAULT_ARF_CHAIN[0]
+
+    def test_custom_chain_validated(self):
+        with pytest.raises(KeyError):
+            ArfController(chain=[0, 99])
+        with pytest.raises(ValueError):
+            ArfController(chain=[])
+
+
+class TestMinstrel:
+    def test_converges_to_good_rate_in_static_channel(self):
+        """With a stable channel Minstrel should find a near-best MCS."""
+        rng = np.random.default_rng(1)
+        error_model = ErrorModel()
+        ctrl = MinstrelController(rng=rng, candidates=[0, 1, 2, 3, 4], update_interval_s=0.1)
+        snr = 12.0  # MCS3 (threshold 9) works; MCS4 (threshold 15) fails.
+        now = 0.0
+        for _ in range(3000):
+            mcs = ctrl.select(now)
+            p = error_model.success_probability(snr, mcs, 1540)
+            succ = int(rng.binomial(14, p))
+            ctrl.feedback(now, mcs, 14, succ)
+            now += 0.02
+        assert ctrl.current_mcs == 3
+
+    def test_lookaround_explores(self):
+        rng = np.random.default_rng(2)
+        ctrl = MinstrelController(rng=rng, candidates=[0, 1, 2, 3], lookaround_rate=0.5)
+        picks = {ctrl.select(i * 0.01) for i in range(200)}
+        assert len(picks) > 1
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            MinstrelController(ewma_level=1.5)
+        with pytest.raises(ValueError):
+            MinstrelController(lookaround_rate=1.0)
+        with pytest.raises(ValueError):
+            MinstrelController(update_interval_s=0.0)
+
+    def test_feedback_for_unknown_mcs_ignored(self):
+        ctrl = MinstrelController(candidates=[0, 1])
+        ctrl.feedback(0.0, 15, 10, 5)  # not in candidate set
+
+    def test_invalid_feedback_rejected(self):
+        with pytest.raises(ValueError):
+            MinstrelController().feedback(0.0, 0, 5, 6)

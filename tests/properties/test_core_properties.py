@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for the core model invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CommunicationDelayModel,
+    DelayedGratificationUtility,
+    DistanceOptimizer,
+    ExponentialFailure,
+    LogFitThroughput,
+    WeibullFailure,
+)
+
+distances = st.floats(min_value=20.0, max_value=500.0)
+speeds = st.floats(min_value=0.5, max_value=30.0)
+data_sizes = st.floats(min_value=1e5, max_value=1e10)
+rates = st.floats(min_value=0.0, max_value=0.05)
+
+
+def quad_delay_model():
+    return CommunicationDelayModel(LogFitThroughput(-10.5, 73.0), 20.0)
+
+
+class TestDelayProperties:
+    @given(d0=distances, v=speeds, bits=data_sizes)
+    def test_cdelay_positive_and_decomposes(self, d0, v, bits):
+        model = quad_delay_model()
+        parts = model.breakdown(20.0, d0, v, bits)
+        assert parts.total_s > 0
+        assert parts.total_s == parts.shipping_s + parts.transmission_s
+        assert parts.shipping_s >= 0
+        assert parts.transmission_s > 0
+
+    @given(d0=distances, v=speeds, bits=data_sizes, frac=st.floats(0.0, 1.0))
+    def test_shipping_time_linear_in_gap(self, d0, v, bits, frac):
+        model = quad_delay_model()
+        d = 20.0 + frac * (d0 - 20.0)
+        tship = model.shipping_time_s(d, d0, v)
+        assert tship == (d0 - d) / v
+
+    @given(bits=data_sizes, d=distances)
+    def test_transmission_time_scales_with_data(self, bits, d):
+        model = quad_delay_model()
+        assert model.transmission_time_s(d, 2 * bits) > model.transmission_time_s(
+            d, bits
+        )
+
+
+class TestFailureProperties:
+    @given(rho=rates, d=st.floats(0.0, 1e5))
+    def test_survival_in_unit_interval(self, rho, d):
+        p = ExponentialFailure(rho).survival_probability(d)
+        assert 0.0 <= p <= 1.0
+
+    @given(rho=rates, d1=st.floats(0.0, 1e4), d2=st.floats(0.0, 1e4))
+    def test_survival_multiplicative(self, rho, d1, d2):
+        """Memorylessness: S(d1 + d2) = S(d1) S(d2)."""
+        model = ExponentialFailure(rho)
+        assert model.survival_probability(d1 + d2) == math.exp(
+            math.log(model.survival_probability(d1))
+            + math.log(model.survival_probability(d2))
+        ) or abs(
+            model.survival_probability(d1 + d2)
+            - model.survival_probability(d1) * model.survival_probability(d2)
+        ) < 1e-12
+
+    @given(
+        scale=st.floats(100.0, 1e5),
+        shape=st.floats(0.3, 4.0),
+        d=st.floats(0.0, 1e5),
+    )
+    def test_weibull_survival_bounded_and_monotone(self, scale, shape, d):
+        model = WeibullFailure(scale, shape)
+        p = model.survival_probability(d)
+        assert 0.0 <= p <= 1.0
+        assert model.survival_probability(d + 1.0) <= p + 1e-12
+
+
+class TestUtilityProperties:
+    @given(d0=distances, v=speeds, bits=data_sizes, rho=rates)
+    def test_utility_positive_and_bounded_by_instantaneous(
+        self, d0, v, bits, rho
+    ):
+        utility = DelayedGratificationUtility(
+            quad_delay_model(), ExponentialFailure(rho)
+        )
+        u = utility.breakdown(20.0, d0, v, bits)
+        assert u.utility > 0
+        assert u.utility <= u.instantaneous_utility + 1e-15
+
+    @given(d0=distances, v=speeds, bits=data_sizes)
+    def test_zero_rho_utility_equals_inverse_delay(self, d0, v, bits):
+        utility = DelayedGratificationUtility(
+            quad_delay_model(), ExponentialFailure(0.0)
+        )
+        u = utility.utility(20.0, d0, v, bits)
+        cdelay = quad_delay_model().cdelay_s(20.0, d0, v, bits)
+        assert abs(u - 1.0 / cdelay) < 1e-12
+
+
+class TestOptimizerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(d0=distances, v=speeds, bits=data_sizes, rho=rates)
+    def test_solution_within_constraints(self, d0, v, bits, rho):
+        """Eq. 2's constraint set is always respected."""
+        utility = DelayedGratificationUtility(
+            quad_delay_model(), ExponentialFailure(rho)
+        )
+        decision = DistanceOptimizer(utility, grid_step_m=5.0).optimize(d0, v, bits)
+        assert 20.0 - 1e-9 <= decision.distance_m <= d0 + 1e-9
+        assert decision.utility > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(d0=distances, v=speeds, bits=data_sizes, rho=rates)
+    def test_solution_beats_endpoints(self, d0, v, bits, rho):
+        utility = DelayedGratificationUtility(
+            quad_delay_model(), ExponentialFailure(rho)
+        )
+        decision = DistanceOptimizer(utility, grid_step_m=5.0).optimize(d0, v, bits)
+        for endpoint in (20.0, d0):
+            assert decision.utility >= utility.utility(endpoint, d0, v, bits) - 1e-9

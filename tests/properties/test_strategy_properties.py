@@ -1,0 +1,125 @@
+"""Property-based tests for strategies, deadlines, and scheduling."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExponentialFailure,
+    HoverAndTransmit,
+    LogFitThroughput,
+    MixedStrategy,
+    MultiBatchScheduler,
+    quadrocopter_scenario,
+)
+from repro.core.deadline import (
+    expected_fraction_by,
+    probability_fraction_by,
+    time_to_fraction,
+)
+
+QUAD = LogFitThroughput(-10.5, 73.0)
+
+d0s = st.floats(min_value=40.0, max_value=300.0)
+speeds = st.floats(min_value=1.0, max_value=20.0)
+sizes = st.floats(min_value=1e6, max_value=1e9)
+fractions = st.floats(min_value=0.05, max_value=1.0)
+rates = st.floats(min_value=0.0, max_value=0.02)
+
+
+class TestStrategyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(d0=d0s, v=speeds, bits=sizes, frac=st.floats(0.3, 1.0))
+    def test_hover_curve_monotone_and_complete(self, d0, v, bits, frac):
+        d_tx = 20.0 + frac * (d0 - 20.0)
+        outcome = HoverAndTransmit(QUAD, d_tx).execute(d0, v, bits)
+        deltas = np.diff(outcome.delivered_bits)
+        assert (deltas >= -1e-6).all()
+        assert outcome.delivered_bits[-1] == bits
+        assert outcome.times_s[-1] == outcome.completion_time_s
+
+    @settings(max_examples=40, deadline=None)
+    @given(d0=d0s, v=speeds, bits=sizes, frac=st.floats(0.3, 1.0))
+    def test_hover_completion_formula(self, d0, v, bits, frac):
+        d_tx = 20.0 + frac * (d0 - 20.0)
+        outcome = HoverAndTransmit(QUAD, d_tx).execute(d0, v, bits)
+        expected = (d0 - d_tx) / v + bits / QUAD.throughput_bps(d_tx)
+        assert abs(outcome.completion_time_s - expected) < 1e-6 * max(1, expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(d0=d0s, v=speeds, bits=sizes)
+    def test_mixed_no_slower_than_pure_hover_at_same_stop(self, d0, v, bits):
+        """Transmitting during the approach can only help (fluid model)."""
+        stop = 20.0
+        mixed = MixedStrategy(QUAD, stop).execute(d0, v, bits)
+        hover = HoverAndTransmit(QUAD, stop).execute(d0, v, bits)
+        assert mixed.completion_time_s <= hover.completion_time_s + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(d0=d0s, v=speeds, bits=sizes)
+    def test_distance_curve_non_increasing(self, d0, v, bits):
+        outcome = MixedStrategy(QUAD, 20.0).execute(d0, v, bits)
+        deltas = np.diff(outcome.distance_m)
+        assert (deltas <= 1e-9).all()
+
+
+class TestDeadlineProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(d0=d0s, v=speeds, bits=sizes, f1=fractions, f2=fractions)
+    def test_time_to_fraction_monotone(self, d0, v, bits, f1, f2):
+        outcome = HoverAndTransmit(QUAD, 20.0).execute(d0, v, bits)
+        lo, hi = sorted((f1, f2))
+        assert time_to_fraction(outcome, lo) <= time_to_fraction(outcome, hi) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(d0=d0s, v=speeds, bits=sizes, rho=rates, frac=fractions)
+    def test_probability_is_valid_and_monotone_in_deadline(
+        self, d0, v, bits, rho, frac
+    ):
+        outcome = HoverAndTransmit(QUAD, 20.0).execute(d0, v, bits)
+        model = ExponentialFailure(rho)
+        t_end = outcome.completion_time_s
+        probs = [
+            probability_fraction_by(outcome, model, frac, t)
+            for t in (0.0, t_end / 2, t_end, t_end * 2)
+        ]
+        assert all(0.0 <= p <= 1.0 for p in probs)
+        assert all(b >= a - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(d0=d0s, v=speeds, bits=sizes, rho=rates)
+    def test_expected_fraction_below_nominal(self, d0, v, bits, rho):
+        """Hazard can only lower the expected delivery."""
+        outcome = HoverAndTransmit(QUAD, 20.0).execute(d0, v, bits)
+        model = ExponentialFailure(rho)
+        t = outcome.completion_time_s
+        nominal = outcome.delivered_fraction_at(t)
+        assert expected_fraction_by(outcome, model, t) <= nominal + 1e-9
+
+
+class TestScheduleProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        budget=st.floats(min_value=300.0, max_value=20_000.0),
+        n=st.integers(min_value=1, max_value=8),
+    )
+    def test_schedule_respects_budget(self, budget, n):
+        scheduler = MultiBatchScheduler(
+            quadrocopter_scenario(), sensing_time_s=60.0, range_budget_m=budget
+        )
+        schedule = scheduler.plan(n)
+        assert schedule.completed_batches <= n
+        if schedule.rounds:
+            assert schedule.rounds[-1].range_budget_after_m >= -1e-6
+            budgets = [r.range_budget_after_m for r in schedule.rounds]
+            assert all(b <= a for a, b in zip(budgets, budgets[1:]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=6))
+    def test_unconstrained_schedule_completes(self, n):
+        scheduler = MultiBatchScheduler(
+            quadrocopter_scenario(), sensing_time_s=30.0, range_budget_m=1e7
+        )
+        schedule = scheduler.plan(n)
+        assert schedule.complete
+        assert schedule.stationary

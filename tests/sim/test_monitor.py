@@ -1,0 +1,125 @@
+"""Tests for time series and summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Counter, SummaryStats, TimeSeries
+
+
+class TestTimeSeries:
+    def test_record_and_access(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 3.0)
+        assert len(ts) == 2
+        assert list(ts.times) == [0.0, 1.0]
+        assert list(ts.values) == [1.0, 3.0]
+
+    def test_non_monotonic_time_rejected(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ts.record(0.5, 0.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 0.0)
+        ts.record(1.0, 1.0)
+        assert len(ts) == 2
+
+    def test_value_at_interpolates(self):
+        ts = TimeSeries("x")
+        ts.extend([(0.0, 0.0), (10.0, 100.0)])
+        assert ts.value_at(5.0) == pytest.approx(50.0)
+
+    def test_value_at_clamps_at_ends(self):
+        ts = TimeSeries("x")
+        ts.extend([(1.0, 5.0), (2.0, 7.0)])
+        assert ts.value_at(0.0) == 5.0
+        assert ts.value_at(3.0) == 7.0
+
+    def test_value_at_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").value_at(0.0)
+
+    def test_window_selects_inclusive_range(self):
+        ts = TimeSeries("x")
+        ts.extend([(float(i), float(i)) for i in range(10)])
+        w = ts.window(2.0, 5.0)
+        assert list(w.times) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_integrate_trapezoid(self):
+        ts = TimeSeries("x")
+        ts.extend([(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)])
+        assert ts.integrate() == pytest.approx(1.0)
+
+    def test_integrate_short_series_is_zero(self):
+        ts = TimeSeries("x")
+        assert ts.integrate() == 0.0
+        ts.record(0.0, 5.0)
+        assert ts.integrate() == 0.0
+
+
+class TestSummaryStats:
+    def test_basic_statistics(self):
+        stats = SummaryStats.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.count == 5
+        assert stats.median == 3.0
+        assert stats.mean == 3.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+
+    def test_quartiles_and_iqr(self):
+        stats = SummaryStats.from_samples(range(1, 101))
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.iqr == pytest.approx(49.5)
+
+    def test_whiskers_clamped_to_data(self):
+        stats = SummaryStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.whisker_low == 1.0
+        assert stats.whisker_high == 3.0
+
+    def test_whiskers_exclude_outliers(self):
+        samples = list(np.linspace(0, 10, 50)) + [1000.0]
+        stats = SummaryStats.from_samples(samples)
+        assert stats.whisker_high < 1000.0
+        assert stats.maximum == 1000.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            SummaryStats.from_samples([])
+
+    def test_single_sample(self):
+        stats = SummaryStats.from_samples([7.0])
+        assert stats.median == 7.0
+        assert stats.iqr == 0.0
+
+    def test_series_summary_matches_direct(self):
+        ts = TimeSeries("x")
+        ts.extend([(float(i), float(i * 2)) for i in range(10)])
+        assert ts.summary().median == SummaryStats.from_samples(
+            [i * 2 for i in range(10)]
+        ).median
+
+
+class TestCounter:
+    def test_incr_and_get(self):
+        c = Counter()
+        c.incr("tx")
+        c.incr("tx", 2.0)
+        assert c.get("tx") == 3.0
+
+    def test_unknown_counter_zero(self):
+        assert Counter().get("nothing") == 0.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().incr("x", -1.0)
+
+    def test_as_dict_snapshot(self):
+        c = Counter()
+        c.incr("a")
+        snap = c.as_dict()
+        c.incr("a")
+        assert snap == {"a": 1.0}

@@ -1,0 +1,58 @@
+"""Tests for process helpers."""
+
+import pytest
+
+from repro.sim import Simulator, every, sample_periodically
+
+
+class TestEvery:
+    def test_calls_action_on_interval(self):
+        sim = Simulator()
+        calls = []
+        sim.spawn(every(1.0, lambda: calls.append(sim.now) or len(calls) < 3))
+        sim.run()
+        assert calls == [0.0, 1.0, 2.0]
+
+    def test_initial_delay(self):
+        sim = Simulator()
+        calls = []
+        sim.spawn(
+            every(1.0, lambda: calls.append(sim.now) or False, initial_delay=5.0)
+        )
+        sim.run()
+        assert calls == [5.0]
+
+    def test_max_iterations_bounds_loop(self):
+        sim = Simulator()
+        calls = []
+        sim.spawn(every(1.0, lambda: calls.append(1) or True, max_iterations=4))
+        sim.run()
+        assert len(calls) == 4
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            list(every(0.0, lambda: False))
+
+
+class TestSamplePeriodically:
+    def test_samples_collected_at_interval(self):
+        sim = Simulator()
+        samples = []
+        sample_periodically(
+            sim, 1.0, 5.0, probe=lambda t: t * 10, sink=lambda t, v: samples.append((t, v))
+        )
+        sim.run()
+        assert [t for t, _ in samples] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert samples[0][1] == 10.0
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sample_periodically(sim, 1.0, -1.0, lambda t: 0.0, lambda t, v: None)
+
+    def test_zero_duration_yields_nothing(self):
+        sim = Simulator()
+        samples = []
+        sample_periodically(sim, 1.0, 0.0, lambda t: 0.0, lambda t, v: samples.append(v))
+        sim.run()
+        assert samples == []

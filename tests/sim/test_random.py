@@ -1,0 +1,53 @@
+"""Tests for seeded random streams."""
+
+import numpy as np
+
+from repro.sim import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(seed=1)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(seed=1)
+        a = streams.get("a").random(100)
+        b = streams.get("b").random(100)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_instances(self):
+        x = RandomStreams(seed=42).get("fading").random(10)
+        y = RandomStreams(seed=42).get("fading").random(10)
+        assert np.allclose(x, y)
+
+    def test_different_seeds_differ(self):
+        x = RandomStreams(seed=1).get("s").random(10)
+        y = RandomStreams(seed=2).get("s").random(10)
+        assert not np.allclose(x, y)
+
+    def test_stream_order_does_not_matter(self):
+        s1 = RandomStreams(seed=7)
+        s1.get("first")
+        a = s1.get("target").random(5)
+        s2 = RandomStreams(seed=7)
+        b = s2.get("target").random(5)
+        assert np.allclose(a, b)
+
+    def test_fork_is_deterministic_and_independent(self):
+        base = RandomStreams(seed=9)
+        f1 = base.fork(1).get("x").random(10)
+        f1_again = RandomStreams(seed=9).fork(1).get("x").random(10)
+        f2 = base.fork(2).get("x").random(10)
+        assert np.allclose(f1, f1_again)
+        assert not np.allclose(f1, f2)
+
+    def test_reset_restarts_streams(self):
+        streams = RandomStreams(seed=3)
+        first = streams.get("x").random(5)
+        streams.reset()
+        again = streams.get("x").random(5)
+        assert np.allclose(first, again)
+
+    def test_none_seed_defaults_to_zero(self):
+        assert RandomStreams(seed=None).seed == 0

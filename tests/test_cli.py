@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_arguments(self):
+        args = build_parser().parse_args(
+            ["solve", "airplane", "--mdata-mb", "15", "--speed", "20"]
+        )
+        assert args.command == "solve"
+        assert args.scenario == "airplane"
+        assert args.mdata_mb == 15.0
+        assert args.speed == 20.0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "zeppelin"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestSolveCommand:
+    def test_solve_quadrocopter(self, capsys):
+        assert main(["solve", "quadrocopter"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal distance" in out
+        assert "56.2 MB" in out
+
+    def test_solve_with_overrides(self, capsys):
+        assert main(["solve", "airplane", "--mdata-mb", "5", "--rho", "0.0001"]) == 0
+        out = capsys.readouterr().out
+        assert "5.0 MB" in out
+        assert "transmit immediately" in out
+
+    def test_solve_with_d0_override(self, capsys):
+        assert main(["solve", "airplane", "--d0", "100"]) == 0
+        assert "contact distance  : 100 m" in capsys.readouterr().out
+
+    def test_solve_with_sensitivity(self, capsys):
+        assert main(["solve", "airplane", "--mdata-mb", "15",
+                     "--sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "dominant parameter" in out
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Airplane" in out and "Quadrocopter" in out
+
+    def test_fig9(self, capsys):
+        assert main(["experiment", "fig9"]) == 0
+        assert "dopt" in capsys.readouterr().out
+
+
+class TestMissionCommand:
+    def test_small_mission_run(self, capsys):
+        assert main(["mission", "--episodes", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out and "immediate" in out and "closest" in out

@@ -1,0 +1,82 @@
+"""Golden-value regression tests.
+
+These pin the concrete numbers the documentation (README,
+EXPERIMENTS.md) quotes, so any model change that silently shifts the
+reproduction is flagged here first.  Tolerances are tight but not
+exact: the analytic values are deterministic, the golden targets are
+what the docs claim.
+"""
+
+import pytest
+
+from repro.core import airplane_scenario, quadrocopter_scenario
+from repro.experiments import fig1, fig9
+
+
+class TestScenarioGoldens:
+    def test_quadrocopter_baseline_solution(self):
+        """README: dopt 20 m, Cdelay 34.1 s (ship 17.8 + tx 16.3), U 0.0288."""
+        decision = quadrocopter_scenario().solve()
+        assert decision.distance_m == pytest.approx(20.0, abs=0.5)
+        assert decision.cdelay_s == pytest.approx(34.1, abs=0.3)
+        assert decision.shipping_s == pytest.approx(17.8, abs=0.2)
+        assert decision.transmission_s == pytest.approx(16.3, abs=0.3)
+        assert decision.utility == pytest.approx(0.0288, abs=0.0005)
+
+    def test_airplane_baseline_solution(self):
+        """EXPERIMENTS.md: dopt 20 m, Cdelay 37.2 s, U 0.0261."""
+        decision = airplane_scenario().solve()
+        assert decision.distance_m == pytest.approx(20.0, abs=0.5)
+        assert decision.cdelay_s == pytest.approx(37.2, abs=0.3)
+        assert decision.utility == pytest.approx(0.0261, abs=0.0005)
+
+    def test_fig8_airplane_dopt_ladder(self):
+        """EXPERIMENTS.md: 20 / 125 / 177 / 266 / 300 m."""
+        base = airplane_scenario()
+        targets = {
+            1.11e-4: 20.0,
+            1e-3: 125.0,
+            2e-3: 177.0,
+            5e-3: 266.0,
+            1e-2: 300.0,
+        }
+        for rho, expected in targets.items():
+            decision = base.with_failure_rate(rho).solve()
+            assert decision.distance_m == pytest.approx(expected, abs=3.0), rho
+
+    def test_fig8_quadrocopter_dopt_ladder(self):
+        """EXPERIMENTS.md: 20 / 20 / 20 / 20 / 44 m."""
+        base = quadrocopter_scenario()
+        targets = {2.46e-4: 20.0, 5e-3: 20.0, 1e-2: 44.0}
+        for rho, expected in targets.items():
+            decision = base.with_failure_rate(rho).solve()
+            assert decision.distance_m == pytest.approx(expected, abs=3.0), rho
+
+
+class TestFigureGoldens:
+    def test_fig1_completion_times(self):
+        """EXPERIMENTS.md: 7.3 / 9.0 / 9.6 / 11.2 / 11.9 s."""
+        completion = fig1.run().data["completion_s"]
+        assert completion["d=60"] == pytest.approx(7.3, abs=0.2)
+        assert completion["d=80"] == pytest.approx(9.0, abs=0.2)
+        assert completion["d=40"] == pytest.approx(9.6, abs=0.2)
+        assert completion["moving"] == pytest.approx(11.2, abs=0.4)
+        assert completion["d=20"] == pytest.approx(11.9, abs=0.2)
+
+    def test_fig1_crossover(self):
+        """EXPERIMENTS.md: 12.1 MB."""
+        assert fig1.crossover_mb() == pytest.approx(12.1, abs=0.3)
+
+    def test_fig9_corner_points(self):
+        """EXPERIMENTS.md: U(45 MB) = 0.0229/0.0293/0.0341 at 10/15/20 m/s."""
+        points = fig9.run().data["points"]
+        assert points[(45.0, 10.0)]["utility"] == pytest.approx(0.0229, abs=5e-4)
+        assert points[(45.0, 15.0)]["utility"] == pytest.approx(0.0293, abs=5e-4)
+        assert points[(45.0, 20.0)]["utility"] == pytest.approx(0.0341, abs=5e-4)
+
+    def test_mission_data_sizes(self):
+        """Paper §4: 28 MB (airplane) and 56.2 MB (quadrocopter)."""
+        assert airplane_scenario().data_megabytes == pytest.approx(28.7, abs=0.3)
+        assert quadrocopter_scenario().data_megabytes == pytest.approx(
+            56.2, abs=0.6
+        )

@@ -1,0 +1,102 @@
+"""Tests for the ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.report import box_plot, line_plot, sparkline
+from repro.sim import SummaryStats
+
+
+class TestSparkline:
+    def test_width_respected(self):
+        assert len(sparkline(range(100), width=40)) == 40
+
+    def test_flat_series_is_uniform(self):
+        line = sparkline([5.0] * 10, width=10)
+        assert len(set(line)) == 1
+
+    def test_peak_is_brightest(self):
+        line = sparkline([0, 0, 10, 0, 0], width=5)
+        assert line[2] == "@"
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1, 2], width=0)
+
+
+class TestLinePlot:
+    def test_basic_structure(self):
+        lines = line_plot([0, 1, 2, 3], {"a": [0, 1, 2, 3]}, width=20, height=6)
+        assert any("legend" in line for line in lines)
+        assert any("o" in line for line in lines)
+
+    def test_multiple_series_distinct_markers(self):
+        lines = line_plot(
+            [0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]}, width=20, height=6
+        )
+        joined = "\n".join(lines)
+        assert "o up" in joined and "x down" in joined
+
+    def test_axis_labels_present(self):
+        lines = line_plot(
+            [0, 1], {"a": [0, 1]}, x_label="distance", y_label="utility",
+            width=20, height=5,
+        )
+        joined = "\n".join(lines)
+        assert "distance" in joined and "utility" in joined
+
+    def test_extreme_rows_carry_limits(self):
+        lines = line_plot([0, 1], {"a": [5.0, 15.0]}, width=20, height=5)
+        joined = "\n".join(lines)
+        assert "15" in joined and "5" in joined
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([0], {"a": [0]})
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {})
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {"a": [0]})
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {"a": [0, 1]}, width=2)
+
+    def test_constant_series_does_not_crash(self):
+        lines = line_plot([0, 1, 2], {"flat": [3.0, 3.0, 3.0]}, width=20, height=5)
+        assert lines
+
+
+class TestBoxPlot:
+    def _stats(self, centre):
+        rng = np.random.default_rng(int(centre))
+        return SummaryStats.from_samples(rng.normal(centre, 2.0, 60))
+
+    def test_rows_per_key(self):
+        stats = {20.0: self._stats(30), 40.0: self._stats(20)}
+        lines = box_plot(stats)
+        data_rows = [l for l in lines if "#" in l and "median" not in l]
+        assert len(data_rows) == 2
+
+    def test_median_between_whiskers(self):
+        stats = {20.0: self._stats(30)}
+        line = next(l for l in box_plot(stats) if "#" in l)
+        assert line.index("|") < line.index("#") < line.rindex("|")
+
+    def test_shared_axis_orders_medians(self):
+        stats = {20.0: self._stats(40), 80.0: self._stats(10)}
+        lines = box_plot(stats)
+        row20 = next(l for l in lines if l.strip().startswith("20"))
+        row80 = next(l for l in lines if l.strip().startswith("80"))
+        assert row20.index("#") > row80.index("#")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            box_plot({})
+        with pytest.raises(ValueError):
+            box_plot({1.0: self._stats(5)}, width=5)
+
+    def test_degenerate_stats(self):
+        stats = {1.0: SummaryStats.from_samples([5.0, 5.0, 5.0])}
+        assert box_plot(stats)
