@@ -13,12 +13,13 @@ Run:  python examples/measurement_campaign.py
 
 import math
 
-from repro.core import (
+from repro import (
     CommunicationDelayModel,
     DelayedGratificationUtility,
     DistanceOptimizer,
     ExponentialFailure,
     quadrocopter_scenario,
+    solve,
 )
 from repro.measurements import QUADROCOPTER_FIT, QuadHoverCampaign, fit_log2
 
@@ -75,7 +76,7 @@ def main() -> None:
         scenario.cruise_speed_mps,
         scenario.data_bits,
     )
-    from_paper = scenario.solve()
+    from_paper = solve(scenario)
     print(f"  d_opt from our measurements : {from_measured.distance_m:6.1f} m "
           f"(Cdelay {from_measured.cdelay_s:.1f} s)")
     print(f"  d_opt from the paper's fit  : {from_paper.distance_m:6.1f} m "

@@ -11,7 +11,7 @@ analyser which parameter steers the decision the most.
 Run:  python examples/multi_batch_schedule.py
 """
 
-from repro.core import (
+from repro import (
     MultiBatchScheduler,
     airplane_scenario,
     quadrocopter_scenario,
@@ -44,7 +44,7 @@ def plan_under_budgets() -> None:
 
 def what_moves_the_needle() -> None:
     print("\nSensitivity of d_opt to a 10% parameter change (airplane, 15 MB):")
-    report = sensitivity(airplane_scenario().with_data_megabytes(15.0))
+    report = sensitivity(airplane_scenario(mdata_mb=15.0))
     print(f"  d_opt                    : {report.dopt_m:6.1f} m")
     print(f"  +10% failure rate        : {report.ddopt_drho:+6.1f} m")
     print(f"  +10% cruise speed        : {report.ddopt_dspeed:+6.1f} m")

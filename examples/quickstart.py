@@ -8,12 +8,13 @@ strategies of Figure 1 to show why 'now' is not always best.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
+from repro import (
     HoverAndTransmit,
     MoveAndTransmit,
     TableThroughput,
     airplane_scenario,
     quadrocopter_scenario,
+    solve,
 )
 
 
@@ -23,7 +24,7 @@ def solve_baselines() -> None:
     print("Optimal transmit distances (paper Section 4 baselines)")
     print("=" * 64)
     for scenario in (airplane_scenario(), quadrocopter_scenario()):
-        decision = scenario.solve()
+        decision = solve(scenario)
         print(
             f"\n[{scenario.name}]  Mdata = {scenario.data_megabytes:.1f} MB, "
             f"v = {scenario.cruise_speed_mps:g} m/s, "

@@ -14,15 +14,38 @@ The package is organised bottom-up:
 * :mod:`repro.measurements` — simulated campaigns, fits, paper data.
 * :mod:`repro.core` — the delayed-gratification model (the paper's
   contribution): Cdelay, utility, optimiser, strategies, scenarios.
+* :mod:`repro.engine` — fleet-scale batch solver: vectorised Eq. 2,
+  memoisation, chunked fan-out.
+* :mod:`repro.api` — the stable public façade (start here).
 * :mod:`repro.experiments` — regenerators for every table and figure.
 
 Quickstart::
 
-    from repro.core import airplane_scenario
-    decision = airplane_scenario().solve()
+    from repro import airplane_scenario, solve
+    decision = solve(airplane_scenario())
     print(decision.distance_m, decision.utility)
+
+Fleet-scale::
+
+    from repro import airplane_scenario, sweep
+    result = sweep(airplane_scenario(), "mdata_mb", range(5, 50))
+    print(result.distance_m)  # one NumPy array, one vectorised pass
 """
 
+from .api import (
+    BatchResult,
+    BatchSolverEngine,
+    OptimalDecision,
+    Scenario,
+    airplane_scenario,
+    default_engine,
+    quadrocopter_scenario,
+    scenario,
+    solve,
+    solve_batch,
+    sweep,
+    utility_curve,
+)
 from .core import (
     CommunicationDelayModel,
     DelayedGratificationUtility,
@@ -32,16 +55,29 @@ from .core import (
     LogFitThroughput,
     MixedStrategy,
     MoveAndTransmit,
-    OptimalDecision,
-    Scenario,
-    airplane_scenario,
-    quadrocopter_scenario,
+    MultiBatchScheduler,
+    TableThroughput,
+    sensitivity,
     transmit_now,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # Stable façade (repro.api)
+    "BatchResult",
+    "BatchSolverEngine",
+    "OptimalDecision",
+    "Scenario",
+    "airplane_scenario",
+    "default_engine",
+    "quadrocopter_scenario",
+    "scenario",
+    "solve",
+    "solve_batch",
+    "sweep",
+    "utility_curve",
+    # Model building blocks (legacy surface, kept for compatibility)
     "CommunicationDelayModel",
     "DelayedGratificationUtility",
     "DistanceOptimizer",
@@ -50,10 +86,9 @@ __all__ = [
     "LogFitThroughput",
     "MixedStrategy",
     "MoveAndTransmit",
-    "OptimalDecision",
-    "Scenario",
-    "airplane_scenario",
-    "quadrocopter_scenario",
+    "MultiBatchScheduler",
+    "TableThroughput",
+    "sensitivity",
     "transmit_now",
     "__version__",
 ]

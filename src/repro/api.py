@@ -1,0 +1,113 @@
+"""repro.api — the stable public surface of the reproduction.
+
+Downstream code (the CLI, the examples, external users) should import
+from here (or from the package root, which re-exports this module)
+rather than from ``repro.core.*`` internals, which may be reorganised
+between releases.  The surface is deliberately small:
+
+* :class:`Scenario`, :func:`airplane_scenario`, :func:`quadrocopter_scenario`
+  — problem construction, with uniform keyword overrides
+  (``mdata_mb=``, ``speed_mps=``, ``rho_per_m=``, ``d0_m=``) and
+  :meth:`Scenario.with_` for everything else.
+* :func:`solve` — one Eq. 2 instance -> :class:`OptimalDecision`.
+* :func:`solve_batch` — N instances in one vectorised pass ->
+  :class:`BatchResult`.
+* :func:`sweep` — one scenario, one parameter, many values.
+* :func:`utility_curve` — the sampled ``U(d)`` curve (Fig. 8 plots).
+
+All solving goes through the shared :class:`BatchSolverEngine`, so
+repeated instances are memoised process-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from .core.optimizer import DistanceOptimizer, OptimalDecision
+from .core.scenario import Scenario, airplane_scenario, quadrocopter_scenario
+from .engine import BatchResult, BatchSolverEngine, default_engine
+
+__all__ = [
+    "BatchResult",
+    "BatchSolverEngine",
+    "OptimalDecision",
+    "Scenario",
+    "airplane_scenario",
+    "quadrocopter_scenario",
+    "default_engine",
+    "scenario",
+    "solve",
+    "solve_batch",
+    "sweep",
+    "utility_curve",
+]
+
+_BASELINES = {
+    "airplane": airplane_scenario,
+    "quadrocopter": quadrocopter_scenario,
+}
+
+
+def scenario(
+    name: str,
+    *,
+    mdata_mb: Optional[float] = None,
+    speed_mps: Optional[float] = None,
+    rho_per_m: Optional[float] = None,
+    d0_m: Optional[float] = None,
+) -> Scenario:
+    """A baseline scenario by name with optional parameter overrides."""
+    try:
+        factory = _BASELINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(_BASELINES)}"
+        ) from None
+    return factory(
+        mdata_mb=mdata_mb, speed_mps=speed_mps, rho_per_m=rho_per_m, d0_m=d0_m
+    )
+
+
+def solve(
+    scenario: Scenario, engine: Optional[BatchSolverEngine] = None
+) -> OptimalDecision:
+    """Solve Eq. 2 for one scenario (memoised)."""
+    return (engine or default_engine()).solve(scenario)
+
+
+def solve_batch(
+    scenarios: Iterable[Scenario],
+    engine: Optional[BatchSolverEngine] = None,
+    parallel: Optional[bool] = None,
+) -> BatchResult:
+    """Solve Eq. 2 for a fleet of scenarios in one vectorised pass."""
+    return (engine or default_engine()).solve_batch(scenarios, parallel=parallel)
+
+
+def sweep(
+    scenario: Scenario,
+    param: str,
+    values: Iterable[float],
+    engine: Optional[BatchSolverEngine] = None,
+) -> BatchResult:
+    """Solve ``scenario`` with one parameter swept over ``values``.
+
+    ``param`` accepts the same names as :meth:`Scenario.with_`:
+    ``mdata_mb``, ``speed_mps``, ``rho_per_m``, ``d0_m``, or any raw
+    ``Scenario`` field.
+    """
+    return (engine or default_engine()).sweep(scenario, param, values)
+
+
+def utility_curve(
+    scenario: Scenario,
+    n_points: int = 200,
+    engine: Optional[BatchSolverEngine] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(distances, U(d))`` sampled across the feasible range (Fig. 8)."""
+    distances, utilities = (engine or default_engine()).utility_curves(
+        [scenario], n_points=n_points
+    )
+    return distances[0], utilities[0]

@@ -6,15 +6,22 @@ solve       Solve Eq. 2 for a baseline scenario (with overrides).
 experiment  Regenerate one of the paper's tables/figures.
 mission     Run the end-to-end SAR mission policy comparison.
 validate    Re-check the channel calibration against the paper's fits.
+
+``solve`` and ``experiment`` accept ``--json`` for machine-readable
+output: one JSON object per solved decision on stdout.
+
+The CLI talks to the library exclusively through the stable
+:mod:`repro.api` façade — no ``repro.core`` internals.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Iterator, List, Optional, Tuple
 
-from .core.scenario import Scenario, airplane_scenario, quadrocopter_scenario
+from .api import BatchResult, OptimalDecision, Scenario, scenario as make_scenario
 
 __all__ = ["main", "build_parser"]
 
@@ -50,11 +57,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also report how a 10%% parameter change moves d_opt",
     )
+    solve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the decision as one JSON object instead of text",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
     )
     experiment.add_argument("name", choices=EXPERIMENTS + ("all",))
+    experiment.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per solved decision instead of text",
+    )
 
     mission = sub.add_parser(
         "mission", help="end-to-end SAR mission policy comparison"
@@ -71,26 +88,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _scenario_with_overrides(args: argparse.Namespace) -> Scenario:
-    scenario = (
-        airplane_scenario() if args.scenario == "airplane"
-        else quadrocopter_scenario()
+    return make_scenario(
+        args.scenario,
+        mdata_mb=args.mdata_mb,
+        speed_mps=args.speed,
+        rho_per_m=args.rho,
+        d0_m=args.d0,
     )
-    if args.mdata_mb is not None:
-        scenario = scenario.with_data_megabytes(args.mdata_mb)
-    if args.speed is not None:
-        scenario = scenario.with_speed(args.speed)
-    if args.rho is not None:
-        scenario = scenario.with_failure_rate(args.rho)
-    if args.d0 is not None:
-        import dataclasses
-
-        scenario = dataclasses.replace(scenario, contact_distance_m=args.d0)
-    return scenario
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from .api import solve
+
     scenario = _scenario_with_overrides(args)
-    decision = scenario.solve()
+    decision = solve(scenario)
+    if args.json:
+        payload = {"scenario": scenario.name, **decision.to_dict()}
+        if args.sensitivity:
+            from . import sensitivity
+
+            report = sensitivity(scenario)
+            payload["sensitivity"] = {
+                "ddopt_drho_m": float(report.ddopt_drho),
+                "ddopt_dspeed_m": float(report.ddopt_dspeed),
+                "ddopt_dmdata_m": float(report.ddopt_dmdata),
+                "dominant_parameter": report.dominant_parameter(),
+            }
+        print(json.dumps(payload))
+        return 0
     print(f"scenario          : {scenario.name}")
     print(f"Mdata             : {scenario.data_megabytes:.1f} MB")
     print(f"cruise speed      : {scenario.cruise_speed_mps:g} m/s")
@@ -108,7 +133,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
            else "delay gratification (fly closer first)")
     )
     if args.sensitivity:
-        from .core.analysis import sensitivity
+        from . import sensitivity
 
         report = sensitivity(scenario)
         print("-" * 40)
@@ -120,16 +145,58 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iter_decisions(
+    node: Any, path: Tuple[str, ...] = ()
+) -> Iterator[Tuple[Tuple[str, ...], OptimalDecision]]:
+    """Walk an experiment's ``data`` tree, yielding every decision."""
+    if isinstance(node, OptimalDecision):
+        yield path, node
+    elif isinstance(node, BatchResult):
+        for index, decision in enumerate(node):
+            yield (*path, str(index)), decision
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            yield from _iter_decisions(value, (*path, str(key)))
+    elif isinstance(node, (list, tuple)):
+        for index, value in enumerate(node):
+            yield from _iter_decisions(value, (*path, str(index)))
+
+
+def _emit_experiment_json(report: Any) -> None:
+    """One JSON object per decision found in the report's data tree."""
+    found = False
+    for path, decision in _iter_decisions(report.data):
+        found = True
+        print(json.dumps({
+            "experiment": report.experiment_id,
+            "path": "/".join(path),
+            **decision.to_dict(),
+        }))
+    if not found:
+        print(json.dumps({
+            "experiment": report.experiment_id,
+            "title": report.title,
+            "decisions": 0,
+        }))
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from . import experiments
 
     if args.name == "all":
         for report in experiments.run_all():
-            report.print()
-            print()
+            if args.json:
+                _emit_experiment_json(report)
+            else:
+                report.print()
+                print()
         return 0
     module = getattr(experiments, args.name)
-    module.run().print()
+    report = module.run()
+    if args.json:
+        _emit_experiment_json(report)
+    else:
+        report.print()
     return 0
 
 

@@ -9,6 +9,7 @@ the bracket with SciPy's bounded scalar minimiser.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 from scipy import optimize as sciopt
@@ -31,11 +32,36 @@ class OptimalDecision:
     contact_distance_m: float
     speed_mps: float
     data_bits: float
+    #: Resolution of ``distance_m``: the solver's refinement tolerance
+    #: (never finer than its grid can distinguish).  Used to classify
+    #: the boundary cases instead of a hard-coded absolute epsilon.
+    tolerance_m: float = 1e-6
 
     @property
     def transmit_immediately(self) -> bool:
-        """True when staying at the contact distance is optimal."""
-        return abs(self.distance_m - self.contact_distance_m) < 1e-6
+        """True when staying at the contact distance is optimal.
+
+        Distances closer to ``d0`` than the solver can resolve count as
+        'immediate': the comparison scales with the optimiser's grid
+        step / refinement tolerance rather than a fixed 1e-6 m.
+        """
+        slack = max(self.tolerance_m, 1e-9 * max(1.0, self.contact_distance_m))
+        return abs(self.distance_m - self.contact_distance_m) <= slack
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-``float`` mapping (JSON-ready; CLI ``--json`` output)."""
+        return {
+            "distance_m": float(self.distance_m),
+            "utility": float(self.utility),
+            "cdelay_s": float(self.cdelay_s),
+            "shipping_s": float(self.shipping_s),
+            "transmission_s": float(self.transmission_s),
+            "discount": float(self.discount),
+            "contact_distance_m": float(self.contact_distance_m),
+            "speed_mps": float(self.speed_mps),
+            "data_bits": float(self.data_bits),
+            "transmit_immediately": bool(self.transmit_immediately),
+        }
 
 
 class DistanceOptimizer:
@@ -146,4 +172,5 @@ class DistanceOptimizer:
             contact_distance_m=contact_distance_m,
             speed_mps=speed_mps,
             data_bits=data_bits,
+            tolerance_m=max(self.refine_tolerance_m, 1e-6),
         )

@@ -47,15 +47,42 @@ def _point_between(
 
 
 class RendezvousPlanner:
-    """Receiver hovers; sender ships the data to the optimal distance."""
+    """Receiver hovers; sender ships the data to the optimal distance.
+
+    Decisions are computed through the shared batch engine, so a
+    planner re-solving the same geometry (repeated SAR episodes, ferry
+    hops over fixed legs) hits the engine's memo instead of re-running
+    the optimiser.
+    """
 
     def __init__(self, scenario: Scenario, grid_step_m: float = 1.0) -> None:
         self.scenario = scenario
         self._optimizer = scenario.optimizer(grid_step_m)
+        self._grid_step_m = grid_step_m
+        self._own_engine = None
 
     def optimizer(self) -> DistanceOptimizer:
-        """The underlying optimiser (for inspection/ablations)."""
+        """The underlying scalar optimiser (for inspection/ablations)."""
         return self._optimizer
+
+    def _solve(
+        self, d0_m: float, speed_mps: float, data_bits: float
+    ) -> OptimalDecision:
+        """One memoised Eq. 2 solve for the current geometry."""
+        from ..engine import BatchSolverEngine, default_engine  # no core cycle
+
+        engine = default_engine()
+        if self._grid_step_m != engine.grid_step_m:
+            if self._own_engine is None:
+                self._own_engine = BatchSolverEngine(
+                    grid_step_m=self._grid_step_m
+                )
+            engine = self._own_engine
+        return engine.solve(
+            self.scenario.with_(
+                d0_m=d0_m, speed_mps=speed_mps, data_bits=data_bits
+            )
+        )
 
     def plan(
         self,
@@ -66,7 +93,7 @@ class RendezvousPlanner:
         """Compute dopt for the current geometry and emit waypoints."""
         d0 = sender_position.distance_to(receiver_position)
         d0 = max(d0, self.scenario.min_distance_m)
-        decision = self._optimizer.optimize(
+        decision = self._solve(
             d0,
             self.scenario.cruise_speed_mps,
             self.scenario.data_bits if data_bits is None else data_bits,
@@ -108,7 +135,7 @@ class HolisticPlanner(RendezvousPlanner):
             self.scenario.min_distance_m,
         )
         closing_speed = 2.0 * self.scenario.cruise_speed_mps
-        decision = self._optimizer.optimize(
+        decision = self._solve(
             d0,
             closing_speed,
             self.scenario.data_bits if data_bits is None else data_bits,

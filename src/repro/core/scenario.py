@@ -82,6 +82,61 @@ class Scenario:
         """A copy with the failure rate overridden (Fig. 8 sweeps)."""
         return replace(self, failure_rate_per_m=rate_per_m)
 
+    #: ``with_`` convenience keys -> dataclass fields.  Values given
+    #: through a convenience key use mission units (MB, m/s, 1/m, m).
+    _ALIASES = {
+        "mdata_mb": "data_bits_override",
+        "speed_mps": "cruise_speed_mps",
+        "rho_per_m": "failure_rate_per_m",
+        "d0_m": "contact_distance_m",
+        "data_bits": "data_bits_override",
+    }
+
+    def with_(self, **overrides: object) -> "Scenario":
+        """A copy with any mix of parameters overridden.
+
+        Accepts both raw dataclass field names and the convenience keys
+        every sweep uses: ``mdata_mb`` (MB), ``speed_mps``, ``rho_per_m``,
+        ``d0_m``, and ``data_bits``.  This is the one construction path
+        the CLI, examples, and experiments share — no more hand-rolled
+        ``dataclasses.replace`` with ad-hoc bit/metre conversions.
+        """
+        fields: dict = {}
+        for key, value in overrides.items():
+            if key == "mdata_mb":
+                if not isinstance(value, (int, float)) or value <= 0:
+                    raise ValueError("Mdata must be positive")
+                value = float(value) * 8e6
+            field_name = self._ALIASES.get(key, key)
+            if field_name not in self.__dataclass_fields__:
+                raise TypeError(
+                    f"unknown scenario parameter {key!r}; expected one of "
+                    f"{sorted(self._ALIASES)} or a Scenario field name"
+                )
+            fields[field_name] = value
+        return replace(self, **fields)
+
+    def cache_key(self) -> "Optional[tuple]":
+        """Hashable identity of the solved problem (batch-engine memo).
+
+        ``None`` when the throughput model cannot describe itself — such
+        scenarios are solved but never memoised.
+        """
+        model_key_fn = getattr(self.throughput, "cache_key", None)
+        if model_key_fn is None:
+            return None
+        model_key = model_key_fn()
+        if model_key is None:
+            return None
+        return (
+            model_key,
+            self.min_distance_m,
+            self.contact_distance_m,
+            self.cruise_speed_mps,
+            self.data_bits,
+            self.failure_rate_per_m,
+        )
+
     # ------------------------------------------------------------------
     def delay_model(self) -> CommunicationDelayModel:
         """The Cdelay model for this scenario."""
@@ -100,15 +155,48 @@ class Scenario:
         return DistanceOptimizer(self.utility_model(), grid_step_m=grid_step_m)
 
     def solve(self) -> OptimalDecision:
-        """dopt and its breakdown for the scenario's own parameters."""
-        return self.optimizer().optimize(
-            self.contact_distance_m, self.cruise_speed_mps, self.data_bits
+        """dopt and its breakdown for the scenario's own parameters.
+
+        Routed through the shared batch engine, so repeated solves of
+        the same instance (planners, sweeps, figure regenerators) are
+        memoised.  ``self.optimizer().optimize(...)`` remains the
+        un-memoised scalar reference path.
+        """
+        from ..engine import default_engine  # local: core must not cycle
+
+        return default_engine().solve(self)
+
+
+def _apply_factory_overrides(
+    scenario: Scenario,
+    mdata_mb: Optional[float],
+    speed_mps: Optional[float],
+    rho_per_m: Optional[float],
+    d0_m: Optional[float],
+) -> Scenario:
+    """Uniform keyword-only overrides shared by both baseline factories."""
+    overrides = {
+        key: value
+        for key, value in (
+            ("mdata_mb", mdata_mb),
+            ("speed_mps", speed_mps),
+            ("rho_per_m", rho_per_m),
+            ("d0_m", d0_m),
         )
+        if value is not None
+    }
+    return scenario.with_(**overrides) if overrides else scenario
 
 
-def airplane_scenario() -> Scenario:
-    """The paper's airplane baseline (Section 4)."""
-    return Scenario(
+def airplane_scenario(
+    *,
+    mdata_mb: Optional[float] = None,
+    speed_mps: Optional[float] = None,
+    rho_per_m: Optional[float] = None,
+    d0_m: Optional[float] = None,
+) -> Scenario:
+    """The paper's airplane baseline (Section 4), with optional overrides."""
+    base = Scenario(
         name="airplane",
         platform=AIRPLANE,
         throughput=LogFitThroughput(
@@ -121,11 +209,18 @@ def airplane_scenario() -> Scenario:
         failure_rate_per_m=1.11e-4,
         contact_distance_m=300.0,
     )
+    return _apply_factory_overrides(base, mdata_mb, speed_mps, rho_per_m, d0_m)
 
 
-def quadrocopter_scenario() -> Scenario:
-    """The paper's quadrocopter baseline (Section 4)."""
-    return Scenario(
+def quadrocopter_scenario(
+    *,
+    mdata_mb: Optional[float] = None,
+    speed_mps: Optional[float] = None,
+    rho_per_m: Optional[float] = None,
+    d0_m: Optional[float] = None,
+) -> Scenario:
+    """The paper's quadrocopter baseline (Section 4), with optional overrides."""
+    base = Scenario(
         name="quadrocopter",
         platform=QUADROCOPTER,
         throughput=LogFitThroughput(
@@ -138,3 +233,4 @@ def quadrocopter_scenario() -> Scenario:
         failure_rate_per_m=2.46e-4,
         contact_distance_m=100.0,
     )
+    return _apply_factory_overrides(base, mdata_mb, speed_mps, rho_per_m, d0_m)

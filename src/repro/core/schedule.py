@@ -118,11 +118,16 @@ class MultiBatchScheduler:
         d0 = self.scenario.contact_distance_m
         v = self.scenario.cruise_speed_mps
         bits = self.scenario.data_bits
+        # The hazard is stationary, so the unconstrained optimum is the
+        # same every round — one memoised engine solve serves them all.
+        from ..engine import default_engine  # local: core must not cycle
+
+        unconstrained = default_engine().solve(self.scenario)
         for index in range(n_batches):
             budget -= self.sensing_distance_m
             if budget < 0:
                 break
-            decision = self._optimizer.optimize(d0, v, bits)
+            decision = unconstrained
             battery_limited = False
             gap = d0 - decision.distance_m
             if 2.0 * gap > budget:
@@ -145,6 +150,7 @@ class MultiBatchScheduler:
                     contact_distance_m=d0,
                     speed_mps=v,
                     data_bits=bits,
+                    tolerance_m=unconstrained.tolerance_m,
                 )
                 gap = d0 - decision.distance_m
             budget -= 2.0 * gap

@@ -16,7 +16,7 @@ median throughput.  The library accepts anything implementing
 from __future__ import annotations
 
 import math
-from typing import Dict, Protocol, Sequence
+from typing import Dict, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -26,10 +26,28 @@ __all__ = [
     "TableThroughput",
     "SpeedScaledThroughput",
     "MIN_THROUGHPUT_BPS",
+    "throughput_bps_array",
 ]
 
 #: Floor preventing division by zero where a fit extrapolates to <= 0.
 MIN_THROUGHPUT_BPS = 1e3
+
+
+def throughput_bps_array(
+    model: "ThroughputModel", distances_m: np.ndarray
+) -> np.ndarray:
+    """``s(d)`` over an array of distances for any throughput model.
+
+    Uses the model's vectorised ``throughput_bps_array`` when it has
+    one, else falls back to a scalar loop — the batch engine calls this
+    for models outside the built-in trio.
+    """
+    vectorised = getattr(model, "throughput_bps_array", None)
+    if vectorised is not None:
+        return vectorised(distances_m)
+    flat = np.asarray(distances_m, dtype=float).reshape(-1)
+    out = np.array([model.throughput_bps(float(d)) for d in flat])
+    return out.reshape(np.shape(distances_m))
 
 
 class ThroughputModel(Protocol):
@@ -74,6 +92,23 @@ class LogFitThroughput:
         )
         return max(MIN_THROUGHPUT_BPS, mbps * 1e6)
 
+    def throughput_bps_array(self, distances_m: np.ndarray) -> np.ndarray:
+        """Vectorised fit evaluation (batch-engine hot path)."""
+        d = np.asarray(distances_m, dtype=float)
+        if np.any(d <= 0):
+            raise ValueError("distances must be positive")
+        mbps = self.slope_mbps_per_octave * np.log2(d) + self.intercept_mbps
+        return np.maximum(MIN_THROUGHPUT_BPS, mbps * 1e6)
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity for memoising solver results."""
+        return (
+            "logfit",
+            self.slope_mbps_per_octave,
+            self.intercept_mbps,
+            self.speed_scale_mps,
+        )
+
     def throughput_bps_moving(self, distance_m: float, speed_mps: float) -> float:
         """Hover throughput scaled by the empirical speed decay."""
         if speed_mps < 0:
@@ -114,6 +149,22 @@ class TableThroughput:
             raise ValueError(f"distance must be positive, got {distance_m}")
         return float(np.interp(distance_m, self._distances, self._rates))
 
+    def throughput_bps_array(self, distances_m: np.ndarray) -> np.ndarray:
+        """Vectorised interpolation (batch-engine hot path)."""
+        d = np.asarray(distances_m, dtype=float)
+        if np.any(d <= 0):
+            raise ValueError("distances must be positive")
+        return np.interp(d, self._distances, self._rates)
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity for memoising solver results."""
+        return (
+            "table",
+            tuple(self._distances.tolist()),
+            tuple(self._rates.tolist()),
+            self.speed_scale_mps,
+        )
+
     def throughput_bps_moving(self, distance_m: float, speed_mps: float) -> float:
         """Interpolated throughput with the exponential speed decay."""
         if speed_mps < 0:
@@ -141,6 +192,20 @@ class SpeedScaledThroughput:
     def throughput_bps(self, distance_m: float) -> float:
         """Hover throughput of the wrapped model."""
         return self._base.throughput_bps(distance_m)
+
+    def throughput_bps_array(self, distances_m: np.ndarray) -> np.ndarray:
+        """Vectorised hover throughput of the wrapped model."""
+        return throughput_bps_array(self._base, distances_m)
+
+    def cache_key(self) -> Optional[Tuple]:
+        """Hashable identity; ``None`` when the base model has none."""
+        base_key = getattr(self._base, "cache_key", None)
+        if base_key is None:
+            return None
+        key = base_key()
+        if key is None:
+            return None
+        return ("speedscaled", key, self.speed_scale_mps)
 
     def throughput_bps_moving(self, distance_m: float, speed_mps: float) -> float:
         """Base throughput scaled by ``exp(-v / speed_scale)``."""

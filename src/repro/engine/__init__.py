@@ -1,0 +1,18 @@
+"""repro.engine — fleet-scale batch solving of the paper's Eq. 2.
+
+The scalar :class:`~repro.core.optimizer.DistanceOptimizer` stays the
+reference implementation; this package adds the production path:
+vectorised N-scenario solving, LRU memoisation, and chunked
+thread-pool fan-out.  See :class:`BatchSolverEngine`.
+"""
+
+from .batch import BatchResult, BatchSolverEngine, default_engine
+from .cache import CacheInfo, LruCache
+
+__all__ = [
+    "BatchResult",
+    "BatchSolverEngine",
+    "CacheInfo",
+    "LruCache",
+    "default_engine",
+]

@@ -15,7 +15,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..core.scenario import Scenario, airplane_scenario, quadrocopter_scenario
+from ..api import Scenario, airplane_scenario, default_engine, quadrocopter_scenario
 from ..report.ascii import line_plot
 from .base import ExperimentReport, format_table
 
@@ -26,24 +26,20 @@ RHO_SWEEP: List[float] = [1e-3, 2e-3, 5e-3, 1e-2]
 
 
 def _sweep(scenario: Scenario) -> Dict[float, dict]:
-    """dopt and the U(d) curve per failure rate."""
-    out: Dict[float, dict] = {}
+    """dopt and the U(d) curve per failure rate (one batch-engine pass)."""
+    engine = default_engine()
     rhos = [scenario.failure_rate_per_m, *RHO_SWEEP]
-    for rho in rhos:
-        variant = scenario.with_failure_rate(rho)
-        decision = variant.solve()
-        distances, utilities = variant.optimizer().utility_curve(
-            variant.contact_distance_m,
-            variant.cruise_speed_mps,
-            variant.data_bits,
-            n_points=150,
-        )
-        out[rho] = {
-            "decision": decision,
-            "distances": distances,
-            "utilities": utilities,
+    variants = [scenario.with_(rho_per_m=rho) for rho in rhos]
+    decisions = engine.solve_batch(variants)
+    distances, utilities = engine.utility_curves(variants, n_points=150)
+    return {
+        rho: {
+            "decision": decisions[i],
+            "distances": distances[i],
+            "utilities": utilities[i],
         }
-    return out
+        for i, rho in enumerate(rhos)
+    }
 
 
 def run() -> ExperimentReport:
@@ -96,14 +92,11 @@ def run() -> ExperimentReport:
         )
         # d0-shrink observation: dopt is insensitive to d0 until d0 = dopt.
         nominal = scenario.solve()
-        smaller = scenario
         d0_half = max(
             scenario.min_distance_m,
             (nominal.distance_m + scenario.contact_distance_m) / 2.0,
         )
-        from dataclasses import replace
-
-        shrunk = replace(smaller, contact_distance_m=d0_half).solve()
+        shrunk = scenario.with_(d0_m=d0_half).solve()
         report.add(
             f"dopt at d0={scenario.contact_distance_m:g} m: "
             f"{nominal.distance_m:.0f} m; at d0={d0_half:.0f} m: "

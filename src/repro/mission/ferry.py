@@ -18,11 +18,16 @@ too).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
-from ..core.optimizer import OptimalDecision
-from ..core.scenario import Scenario, airplane_scenario, quadrocopter_scenario
+from ..api import (
+    OptimalDecision,
+    Scenario,
+    airplane_scenario,
+    quadrocopter_scenario,
+    solve,
+)
 from ..geo.coords import EnuPoint
 
 __all__ = ["HopPlan", "FerryPlan", "FerryChainPlanner"]
@@ -85,16 +90,11 @@ def _fold_silent_leg(
         return decision
     silent_s = silent_m / scenario.cruise_speed_mps
     survival = scenario.failure_model().survival_probability(silent_m)
-    return OptimalDecision(
-        distance_m=decision.distance_m,
-        utility=decision.utility,
+    return replace(
+        decision,
         cdelay_s=decision.cdelay_s + silent_s,
         shipping_s=decision.shipping_s + silent_s,
-        transmission_s=decision.transmission_s,
         discount=decision.discount * survival,
-        contact_distance_m=decision.contact_distance_m,
-        speed_mps=decision.speed_mps,
-        data_bits=decision.data_bits,
     )
 
 
@@ -134,9 +134,9 @@ class FerryChainPlanner:
             min(distance, scenario.contact_distance_m), scenario.min_distance_m
         )
         silent = max(0.0, distance - d0)
-        decision = scenario.optimizer().optimize(
-            d0, scenario.cruise_speed_mps, data_bits
-        )
+        # Memoised engine solve: repeated legs over the same geometry
+        # (every episode of a SAR sweep) cost one cache lookup.
+        decision = solve(scenario.with_(d0_m=d0, data_bits=data_bits))
         return HopPlan(
             carrier=carrier,
             from_position=frm,

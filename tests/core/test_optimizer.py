@@ -92,6 +92,54 @@ class TestOptimize:
             make_optimizer(refine_tolerance_m=0.0)
 
 
+class TestTransmitImmediately:
+    """Regression: the boundary classification scales with the solver.
+
+    ``transmit_immediately`` used to compare against a hard-coded
+    1e-6 m, so a coarse solve that landed within its own resolution of
+    ``d0`` was misclassified as 'fly closer'.
+    """
+
+    def test_tolerance_plumbed_from_optimizer(self):
+        opt = make_optimizer(refine_tolerance_m=0.5)
+        decision = opt.optimize(100.0, 4.5, 56.2 * 8e6)
+        assert decision.tolerance_m == pytest.approx(0.5)
+
+    def test_default_tolerance_floor(self):
+        opt = make_optimizer(refine_tolerance_m=1e-9)
+        decision = opt.optimize(100.0, 4.5, 56.2 * 8e6)
+        assert decision.tolerance_m == pytest.approx(1e-6)
+
+    def test_within_solver_resolution_counts_as_immediate(self):
+        from dataclasses import replace
+
+        opt = make_optimizer(fit=(-5.56, 49.0), rho=1.11e-4,
+                             grid_step_m=10.0, refine_tolerance_m=0.5)
+        decision = opt.optimize(300.0, 10.0, 1 * 8e6)
+        # Nudge the solution just inside d0 by less than the solver can
+        # resolve: still 'immediate'.
+        nudged = replace(decision, distance_m=decision.contact_distance_m - 0.3)
+        assert nudged.transmit_immediately
+        # The old hard-coded 1e-6 epsilon would have said 'fly closer'.
+        old_semantics = replace(nudged, tolerance_m=1e-6)
+        assert not old_semantics.transmit_immediately
+
+    def test_clearly_interior_is_not_immediate(self):
+        opt = make_optimizer(grid_step_m=5.0, refine_tolerance_m=0.5)
+        decision = opt.optimize(100.0, 4.5, 56.2 * 8e6)
+        assert decision.distance_m == pytest.approx(20.0, abs=1.0)
+        assert not decision.transmit_immediately
+
+    def test_to_dict_round_trips_plain_floats(self):
+        decision = make_optimizer().optimize(100.0, 4.5, 56.2 * 8e6)
+        payload = decision.to_dict()
+        assert payload["distance_m"] == decision.distance_m
+        assert payload["transmit_immediately"] is decision.transmit_immediately
+        assert all(
+            isinstance(v, (int, float, bool)) for v in payload.values()
+        )
+
+
 class TestUtilityCurve:
     def test_curve_shape(self):
         opt = make_optimizer()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -50,6 +52,63 @@ class TestSolveCommand:
                      "--sensitivity"]) == 0
         out = capsys.readouterr().out
         assert "dominant parameter" in out
+
+
+class TestSolveJson:
+    def test_solve_json_payload(self, capsys):
+        assert main(["solve", "airplane", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "airplane"
+        assert payload["contact_distance_m"] == 300.0
+        assert 20.0 <= payload["distance_m"] <= 300.0
+        assert isinstance(payload["transmit_immediately"], bool)
+
+    def test_solve_json_with_overrides(self, capsys):
+        assert main(
+            ["solve", "quadrocopter", "--json", "--mdata-mb", "10",
+             "--d0", "80"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["data_bits"] == pytest.approx(10 * 8e6)
+        assert payload["contact_distance_m"] == 80.0
+
+    def test_solve_json_with_sensitivity(self, capsys):
+        assert main(["solve", "airplane", "--json", "--sensitivity"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sensitivity"]["dominant_parameter"] in (
+            "rho", "speed", "mdata"
+        )
+
+
+class TestExperimentJson:
+    def test_fig9_json_lines(self, capsys):
+        assert main(["experiment", "fig9", "--json"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines() if line
+        ]
+        decisions = [l for l in lines if "distance_m" in l]
+        # 6 Mdata values x 5 speeds
+        assert len(decisions) == 30
+        assert all(l["experiment"] == "fig9" for l in decisions)
+        assert all("path" in l for l in decisions)
+
+    def test_fig8_json_lines(self, capsys):
+        assert main(["experiment", "fig8", "--json"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines() if line
+        ]
+        paths = {l["path"] for l in lines}
+        assert any(p.startswith("airplane/") for p in paths)
+        assert any(p.startswith("quadrocopter/") for p in paths)
+
+    def test_table1_json_fallback(self, capsys):
+        """Experiments without decisions emit a summary object."""
+        assert main(["experiment", "table1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table1"
+        assert payload["decisions"] == 0
 
 
 class TestExperimentCommand:
