@@ -13,3 +13,21 @@ from __future__ import annotations
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under the benchmark clock, return result."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def dump_bench_json(payload: dict, filename: str = "BENCH_campaign.json") -> str:
+    """Write a machine-readable benchmark report next to the repo root.
+
+    CI uploads the file as a build artifact so benchmark history can be
+    compared across runs without scraping console output.  Returns the
+    path written.
+    """
+    import json
+    import os
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, filename)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

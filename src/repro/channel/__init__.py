@@ -3,12 +3,15 @@
 from .antenna import AttitudeState, DipolePattern, orientation_loss_db
 from .channel import (
     AerialChannel,
+    BatchAerialChannel,
     ChannelProfile,
     airplane_profile,
     indoor_profile,
     quadrocopter_profile,
 )
 from .fading import (
+    BatchGaussMarkovShadowing,
+    BatchRicianFading,
     GaussMarkovShadowing,
     RicianFading,
     ShadowingConfig,
@@ -31,10 +34,13 @@ __all__ = [
     "DipolePattern",
     "orientation_loss_db",
     "AerialChannel",
+    "BatchAerialChannel",
     "ChannelProfile",
     "airplane_profile",
     "indoor_profile",
     "quadrocopter_profile",
+    "BatchGaussMarkovShadowing",
+    "BatchRicianFading",
     "GaussMarkovShadowing",
     "RicianFading",
     "ShadowingConfig",

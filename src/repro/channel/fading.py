@@ -10,6 +10,14 @@ Two time scales matter for the paper's observations:
 * **Fast multipath fading** — Rician small-scale fading whose coherence
   time shrinks with relative speed (Doppler), the reason 'move and
   transmit' underperforms.
+
+Each process has a *batched* twin (:class:`BatchGaussMarkovShadowing`,
+:class:`BatchRicianFading`) that evolves R independent replicas in
+lockstep NumPy.  The scalar classes route their transcendental math
+through the same NumPy ufuncs so a batch of one replica consuming the
+same stream is bit-identical to the scalar process — the foundation of
+the lockstep-equivalence guarantee of
+:class:`~repro.net.batchlink.BatchWirelessLink`.
 """
 
 from __future__ import annotations
@@ -22,7 +30,9 @@ import numpy as np
 __all__ = [
     "ShadowingConfig",
     "GaussMarkovShadowing",
+    "BatchGaussMarkovShadowing",
     "RicianFading",
+    "BatchRicianFading",
     "doppler_coherence_time_s",
 ]
 
@@ -91,7 +101,10 @@ class GaussMarkovShadowing:
         if self._last_time is not None:
             dt = max(0.0, now_s - self._last_time)
             if cfg.sigma_db > 0:
-                alpha = math.exp(-dt / cfg.coherence_time_s)
+                # np.exp (not math.exp) so the batched twin matches bit
+                # for bit — NumPy's scalar and array ufunc paths agree,
+                # libm's does not always.
+                alpha = float(np.exp(-dt / cfg.coherence_time_s))
                 drive = cfg.sigma_db * math.sqrt(max(0.0, 1.0 - alpha * alpha))
                 self._value = alpha * self._value + float(
                     self._rng.normal(0.0, 1.0)
@@ -107,6 +120,68 @@ class GaussMarkovShadowing:
         if self._in_dropout:
             value -= cfg.dropout_depth_db
         return value
+
+
+class BatchGaussMarkovShadowing:
+    """R independent Gauss-Markov shadowing replicas stepped in lockstep.
+
+    All replicas share one generator and draw ``(R,)`` arrays per step,
+    so a batch with ``n_replicas == 1`` consumes the stream exactly as
+    the scalar :class:`GaussMarkovShadowing` does and reproduces it bit
+    for bit.  Dropout epochs are redrawn per replica only when that
+    replica's fading clock has decorrelated — masked draws keep the
+    stream consumption identical in the R = 1 case.
+    """
+
+    def __init__(
+        self,
+        config: ShadowingConfig,
+        rng: np.random.Generator,
+        n_replicas: int,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.config = config
+        self.n_replicas = n_replicas
+        self._rng = rng
+        if config.sigma_db:
+            self._value = rng.normal(0.0, config.sigma_db, size=n_replicas)
+        else:
+            self._value = np.zeros(n_replicas)
+        self._in_dropout = rng.random(size=n_replicas) < config.dropout_probability
+        self._last_time: "np.ndarray | None" = None
+        self._epoch_elapsed = np.zeros(n_replicas)
+
+    def sample(self, now_s: np.ndarray) -> np.ndarray:
+        """Per-replica shadowing (dB) at the per-replica clocks ``now_s``."""
+        cfg = self.config
+        now = np.asarray(now_s, dtype=float)
+        if now.shape != (self.n_replicas,):
+            raise ValueError(
+                f"now_s must have shape ({self.n_replicas},), got {now.shape}"
+            )
+        if self._last_time is not None:
+            dt = np.maximum(0.0, now - self._last_time)
+            if cfg.sigma_db > 0:
+                alpha = np.exp(-dt / cfg.coherence_time_s)
+                drive = cfg.sigma_db * np.sqrt(
+                    np.maximum(0.0, 1.0 - alpha * alpha)
+                )
+                self._value = alpha * self._value + self._rng.normal(
+                    0.0, 1.0, size=self.n_replicas
+                ) * drive
+            self._epoch_elapsed += dt
+            expired = self._epoch_elapsed >= cfg.coherence_time_s
+            n_expired = int(np.count_nonzero(expired))
+            if n_expired:
+                self._epoch_elapsed[expired] = 0.0
+                self._in_dropout[expired] = (
+                    self._rng.random(size=n_expired) < cfg.dropout_probability
+                )
+        self._last_time = now.copy()
+        return np.where(
+            self._in_dropout, self._value - cfg.dropout_depth_db, self._value
+        )
 
 
 class RicianFading:
@@ -140,13 +215,13 @@ class RicianFading:
         if relative_speed_mps < 0:
             raise ValueError("speed must be non-negative")
         span = self.k_factor_hover_db - self.k_factor_floor_db
-        return self.k_factor_floor_db + span * math.exp(
+        return self.k_factor_floor_db + span * float(np.exp(
             -relative_speed_mps / self.speed_scale_mps
-        )
+        ))
 
     def sample_db(self, relative_speed_mps: float = 0.0) -> float:
         """One fading realisation (dB), unit mean power."""
-        k_lin = 10.0 ** (self.k_factor_db(relative_speed_mps) / 10.0)
+        k_lin = float(np.power(10.0, self.k_factor_db(relative_speed_mps) / 10.0))
         # Rician envelope power: LOS amplitude nu, scatter sigma^2 per
         # component, normalised to unit mean power.
         sigma2 = 1.0 / (2.0 * (k_lin + 1.0))
@@ -154,4 +229,54 @@ class RicianFading:
         x = float(self._rng.normal(nu, math.sqrt(sigma2)))
         y = float(self._rng.normal(0.0, math.sqrt(sigma2)))
         power = x * x + y * y
-        return 10.0 * math.log10(max(power, 1e-12))
+        return 10.0 * float(np.log10(max(power, 1e-12)))
+
+
+class BatchRicianFading:
+    """R lockstep Rician fading replicas sharing one generator.
+
+    Mirrors :class:`RicianFading` draw for draw: each step consumes one
+    standard normal per replica for the in-phase component and one for
+    the quadrature component, so ``n_replicas == 1`` is bit-identical
+    to the scalar process on the same stream.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        n_replicas: int,
+        k_factor_hover_db: float = 12.0,
+        k_factor_floor_db: float = 0.0,
+        speed_scale_mps: float = 6.0,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if speed_scale_mps <= 0:
+            raise ValueError("speed_scale_mps must be positive")
+        self._rng = rng
+        self.n_replicas = n_replicas
+        self.k_factor_hover_db = k_factor_hover_db
+        self.k_factor_floor_db = k_factor_floor_db
+        self.speed_scale_mps = speed_scale_mps
+
+    def k_factor_db(self, relative_speed_mps: np.ndarray) -> np.ndarray:
+        """Per-replica Rician K-factor (dB) at the given relative speeds."""
+        speeds = np.asarray(relative_speed_mps, dtype=float)
+        if np.any(speeds < 0):
+            raise ValueError("speed must be non-negative")
+        span = self.k_factor_hover_db - self.k_factor_floor_db
+        return self.k_factor_floor_db + span * np.exp(
+            -speeds / self.speed_scale_mps
+        )
+
+    def sample_db(self, relative_speed_mps: np.ndarray) -> np.ndarray:
+        """One fading realisation (dB) per replica, unit mean power."""
+        k_lin = np.power(10.0, self.k_factor_db(relative_speed_mps) / 10.0)
+        sigma2 = 1.0 / (2.0 * (k_lin + 1.0))
+        nu = np.sqrt(k_lin / (k_lin + 1.0))
+        scale = np.sqrt(sigma2)
+        # Same composition as Generator.normal(loc, scale): loc+scale*z.
+        x = nu + scale * self._rng.normal(0.0, 1.0, size=self.n_replicas)
+        y = scale * self._rng.normal(0.0, 1.0, size=self.n_replicas)
+        power = x * x + y * y
+        return 10.0 * np.log10(np.maximum(power, 1e-12))

@@ -6,9 +6,11 @@ solve       Solve Eq. 2 for a baseline scenario (with overrides).
 experiment  Regenerate one of the paper's tables/figures.
 mission     Run the end-to-end SAR mission policy comparison.
 validate    Re-check the channel calibration against the paper's fits.
+bench       Time the replica-batched campaign engine vs the scalar one.
 
-``solve`` and ``experiment`` accept ``--json`` for machine-readable
-output: one JSON object per solved decision on stdout.
+``solve``, ``experiment`` and ``bench`` accept ``--json`` for
+machine-readable output (``bench --json`` includes per-stage timings
+and memo-hit telemetry; see docs/PERFORMANCE.md).
 
 The CLI talks to the library exclusively through the stable
 :mod:`repro.api` façade — no ``repro.core`` internals.
@@ -83,6 +85,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "validate", help="re-check the channel calibration vs the paper"
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the replica-batched campaign engine",
+    )
+    bench.add_argument(
+        "--profile", default="airplane",
+        choices=("airplane", "quadrocopter", "indoor"),
+    )
+    bench.add_argument(
+        "--controller", default="arf",
+        help="controller spec: arf, oracle or fixed:<mcs> (default: arf)",
+    )
+    bench.add_argument(
+        "--distances", type=float, nargs="+",
+        default=[80.0, 160.0, 240.0], metavar="M",
+    )
+    bench.add_argument("--replicas", type=int, default=64,
+                       help="replicas per distance (default: 64)")
+    bench.add_argument("--duration", type=float, default=40.0,
+                       help="seconds of simulated traffic (default: 40)")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument(
+        "--scalar-replicas", type=int, default=None, metavar="N",
+        help="time the scalar baseline on N replicas and extrapolate "
+             "(default: full count)",
+    )
+    bench.add_argument(
+        "--no-parallel", action="store_true",
+        help="disable the process-pool fan-out",
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON report with timings and telemetry",
     )
     return parser
 
@@ -230,6 +268,114 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def bench_report(
+    config: "Any",
+    parallel: Optional[bool] = None,
+    scalar_replicas: Optional[int] = None,
+) -> dict:
+    """Run the batched campaign and its scalar baseline; report timings.
+
+    Shared by ``repro bench`` and the benchmark suite so both emit the
+    same JSON shape: workload parameters, wall-clock for both engines,
+    the speedup, per-stage timings, memo-hit counters and per-distance
+    medians (see docs/PERFORMANCE.md).
+    """
+    from .engine.batch import default_engine
+    from .measurements.batch import run_campaign, run_scalar_reference
+
+    batch = run_campaign(config, parallel=parallel)
+    reference = run_scalar_reference(config, n_replicas=scalar_replicas)
+    timed = scalar_replicas if scalar_replicas else config.n_replicas
+    scalar_wall = reference.wall_s * config.n_replicas / timed
+    batch_medians = batch.medians_mbps()
+    scalar_medians = reference.medians_mbps()
+    cache = default_engine().cache_info()
+    return {
+        "workload": {
+            "profile": config.profile,
+            "controller": config.controller,
+            "distances_m": list(config.distances_m),
+            "n_replicas": config.n_replicas,
+            "duration_s": config.duration_s,
+            "seed": config.seed,
+            "epoch_s": config.epoch_s,
+            "block_size": config.block_size,
+            "scalar_replicas_timed": timed,
+        },
+        "scalar": {
+            "wall_s": scalar_wall,
+            "measured_wall_s": reference.wall_s,
+            "medians_mbps": {str(k): v for k, v in scalar_medians.items()},
+        },
+        "batched": {
+            "wall_s": batch.wall_s,
+            "medians_mbps": {str(k): v for k, v in batch_medians.items()},
+            "telemetry": batch.telemetry.as_dict(),
+        },
+        "speedup": scalar_wall / batch.wall_s if batch.wall_s > 0 else None,
+        "median_agreement": {
+            str(d): abs(batch_medians[d] - scalar_medians[d])
+            / max(scalar_medians[d], 1e-9)
+            for d in batch_medians
+            if d in scalar_medians
+        },
+        "solver_cache": {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "currsize": cache.currsize,
+            "maxsize": cache.maxsize,
+        },
+    }
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .measurements.batch import BatchCampaignConfig
+
+    config = BatchCampaignConfig(
+        profile=args.profile,
+        controller=args.controller,
+        distances_m=tuple(args.distances),
+        n_replicas=args.replicas,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    report = bench_report(
+        config,
+        parallel=False if args.no_parallel else None,
+        scalar_replicas=args.scalar_replicas,
+    )
+    if args.json:
+        print(json.dumps(report))
+        return 0
+    workload = report["workload"]
+    print(f"profile           : {workload['profile']}")
+    print(f"controller        : {workload['controller']}")
+    print(f"distances         : {workload['distances_m']} m")
+    print(f"replicas/distance : {workload['n_replicas']}")
+    print(f"duration          : {workload['duration_s']:g} s simulated")
+    print("-" * 40)
+    print(f"scalar engine     : {report['scalar']['wall_s']:.2f} s"
+          + (" (extrapolated)"
+             if workload["scalar_replicas_timed"] != workload["n_replicas"]
+             else ""))
+    print(f"batched engine    : {report['batched']['wall_s']:.2f} s")
+    print(f"speedup           : {report['speedup']:.1f}x")
+    print("-" * 40)
+    telemetry = report["batched"]["telemetry"]
+    for stage, entry in telemetry["stages"].items():
+        print(f"stage {stage:12s}: {entry['seconds']:.3f} s "
+              f"({entry['calls']} calls)")
+    counters = telemetry["counters"]
+    for name in sorted(counters):
+        print(f"count {name:17s}: {counters[name]}")
+    for d, rel in report["median_agreement"].items():
+        batch_m = report["batched"]["medians_mbps"][d]
+        scalar_m = report["scalar"]["medians_mbps"][d]
+        print(f"median @ {float(d):5.0f} m   : batch {batch_m:6.2f} "
+              f"scalar {scalar_m:6.2f} Mb/s ({100 * rel:.2f}% apart)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -238,5 +384,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "mission": _cmd_mission,
         "validate": _cmd_validate,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)

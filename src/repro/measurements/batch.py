@@ -1,0 +1,316 @@
+"""Replica-batched measurement campaigns with process-pool fan-out.
+
+The scalar campaigns (:mod:`repro.measurements.campaign`,
+:mod:`repro.experiments.fig6`) estimate per-distance throughput medians
+by running many independent *replicas* of an iperf session — a Python
+loop over epochs per replica.  :func:`run_campaign` replaces that with
+the replica-batched engine: one
+:class:`~repro.net.batchlink.BatchWirelessLink` steps a whole block of
+replicas per epoch in lockstep NumPy, and blocks are sharded onto a
+``concurrent.futures`` process pool (mirroring the chunked fan-out of
+:class:`repro.engine.batch.BatchSolverEngine`, but with *processes*
+because the epoch loop itself is Python).
+
+Everything a worker needs travels in a picklable
+:class:`BatchCampaignConfig` — profiles and controllers are named by
+spec strings, never by object reference.  Each worker fills a
+:class:`~repro.perf.PerfTelemetry` and the parent merges them, so
+``repro bench --json`` can report per-stage timings and memo-hit
+counters across the whole pool.
+
+:func:`run_scalar_reference` runs the identical workload on the scalar
+engine — the baseline for the speedup and agreement numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent import futures
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..channel.channel import (
+    AerialChannel,
+    BatchAerialChannel,
+    ChannelProfile,
+    airplane_profile,
+    indoor_profile,
+    quadrocopter_profile,
+)
+from ..net.batchlink import BatchWirelessLink
+from ..net.iperf import IperfSession
+from ..net.link import WirelessLink
+from ..perf import PerfTelemetry
+from ..phy.rate_control import batch_controller, scalar_controller
+from ..sim.monitor import SummaryStats
+from ..sim.random import RandomStreams
+
+__all__ = [
+    "BatchCampaignConfig",
+    "BatchCampaignResult",
+    "run_campaign",
+    "run_scalar_reference",
+    "profile_by_name",
+]
+
+_PROFILES = {
+    "airplane": airplane_profile,
+    "quadrocopter": quadrocopter_profile,
+    "indoor": indoor_profile,
+}
+
+
+def profile_by_name(name: str) -> ChannelProfile:
+    """Resolve a picklable profile spec to a :class:`ChannelProfile`."""
+    try:
+        return _PROFILES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {name!r}; expected one of {sorted(_PROFILES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class BatchCampaignConfig:
+    """Picklable description of one fixed-distance campaign.
+
+    The workload mirrors the Fig. 6 methodology: for each distance,
+    ``n_replicas`` independent iperf sessions of ``duration_s`` seconds
+    at saturated load, readings pooled per distance.
+    """
+
+    profile: str = "airplane"
+    #: Controller spec: ``"arf"``, ``"oracle"`` or ``"fixed:<mcs>"``.
+    controller: str = "arf"
+    distances_m: Tuple[float, ...] = (80.0, 160.0, 240.0)
+    n_replicas: int = 64
+    duration_s: float = 40.0
+    seed: int = 1
+    relative_speed_mps: float = 0.0
+    report_interval_s: float = 1.0
+    epoch_s: float = 0.02
+    #: (distance, replica) cases per process-pool task.  One shard is
+    #: one :class:`BatchWirelessLink` whose replicas may sit at
+    #: *different* distances (a per-replica distance array), so NumPy
+    #: overhead amortises over the whole block rather than per distance.
+    block_size: int = 192
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if not self.distances_m:
+            raise ValueError("distances_m must not be empty")
+        profile_by_name(self.profile)  # validate early, before pickling
+
+    def shards(self) -> List[Tuple[int, Tuple[float, ...]]]:
+        """(shard_index, per-replica distances) task list.
+
+        The flattened (distance, replica) case list is cut into blocks
+        of at most ``block_size`` cases.
+        """
+        cases = [
+            float(distance)
+            for distance in self.distances_m
+            for _replica in range(self.n_replicas)
+        ]
+        return [
+            (shard, tuple(cases[start:start + self.block_size]))
+            for shard, start in enumerate(
+                range(0, len(cases), self.block_size)
+            )
+        ]
+
+
+@dataclass
+class BatchCampaignResult:
+    """Pooled per-distance readings plus merged perf telemetry."""
+
+    samples: Dict[float, List[float]]
+    telemetry: PerfTelemetry
+    wall_s: float
+    n_replicas: int
+
+    def keys(self) -> List[float]:
+        """Sorted distances with at least one reading."""
+        return sorted(self.samples)
+
+    def stats(self, key: float) -> SummaryStats:
+        """Boxplot summary for one distance."""
+        return SummaryStats.from_samples(self.samples[key])
+
+    def medians_mbps(self) -> Dict[float, float]:
+        """Median throughput (Mb/s) per distance."""
+        return {
+            key: float(np.median(values)) / 1e6
+            for key, values in sorted(self.samples.items())
+        }
+
+
+# ----------------------------------------------------------------------
+# Workers
+# ----------------------------------------------------------------------
+
+def _shard_streams(config: BatchCampaignConfig, shard: int) -> RandomStreams:
+    """Independent named streams for one shard (fork salt = shard+1)."""
+    return RandomStreams(config.seed).fork(shard + 1)
+
+
+def _run_replica_block(
+    config: BatchCampaignConfig,
+    shard: int,
+    distances_m: Tuple[float, ...],
+) -> Tuple[Dict[float, List[float]], PerfTelemetry]:
+    """One pool task: a block of replicas stepped in one batched link.
+
+    ``distances_m`` holds one entry per replica — replicas of different
+    distances ride in the same batch.  Top-level (picklable) so it can
+    cross a process boundary; also the sequential fallback path.
+    """
+    n_replicas = len(distances_m)
+    telemetry = PerfTelemetry()
+    streams = _shard_streams(config, shard)
+    channel = BatchAerialChannel(
+        profile_by_name(config.profile), n_replicas, streams
+    )
+    link = BatchWirelessLink(
+        channel,
+        batch_controller(config.controller, n_replicas),
+        streams=streams,
+        epoch_s=config.epoch_s,
+        telemetry=telemetry,
+    )
+    distance_arr = np.asarray(distances_m, dtype=float)
+    interval = config.report_interval_s
+    now = 0.0
+    end = config.duration_s
+    next_report = interval
+    interval_bytes = np.zeros(n_replicas, dtype=np.int64)
+    rows: List[np.ndarray] = []
+    while now < end:
+        step = link.step(
+            now,
+            distance_m=distance_arr,
+            relative_speed_mps=config.relative_speed_mps,
+        )
+        interval_bytes += step.bytes_delivered
+        now += link.epoch_s
+        if now >= next_report - 1e-12:
+            rows.append(interval_bytes * 8.0 / interval)
+            interval_bytes = np.zeros(n_replicas, dtype=np.int64)
+            next_report += interval
+    samples: Dict[float, List[float]] = {}
+    if rows:
+        matrix = np.stack(rows)  # (n_intervals, n_replicas)
+        for distance in dict.fromkeys(distances_m):  # unique, ordered
+            mask = distance_arr == distance
+            samples[distance] = matrix[:, mask].ravel().tolist()
+    telemetry.count("mean_cache_hits", channel.mean_cache_hits)
+    telemetry.count("mean_cache_misses", channel.mean_cache_misses)
+    telemetry.count("shards")
+    return samples, telemetry
+
+
+def _run_block_task(
+    args: Tuple,
+) -> Tuple[Dict[float, List[float]], PerfTelemetry]:
+    """Unpack helper for ``Executor.map`` over shard tuples."""
+    config, shard, distances_m = args
+    return _run_replica_block(config, shard, distances_m)
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+
+def run_campaign(
+    config: BatchCampaignConfig,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+) -> BatchCampaignResult:
+    """Run the campaign on the replica-batched engine.
+
+    ``parallel=None`` auto-enables the process pool when there are
+    several shards and more than one CPU; ``True``/``False`` force it.
+    If the pool cannot be started (restricted environments), the runner
+    degrades to the sequential path and still returns full results.
+    """
+    t_start = time.perf_counter()
+    tasks = [
+        (config, shard, distances)
+        for shard, distances in config.shards()
+    ]
+    if parallel is None:
+        parallel = len(tasks) > 1 and (os.cpu_count() or 1) > 1
+    outputs = None
+    if parallel and len(tasks) > 1:
+        try:
+            with futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+                outputs = list(pool.map(_run_block_task, tasks))
+        except (OSError, PermissionError, futures.process.BrokenProcessPool):
+            outputs = None  # pool unavailable: fall through to sequential
+    if outputs is None:
+        outputs = [_run_block_task(task) for task in tasks]
+
+    samples: Dict[float, List[float]] = {}
+    telemetry = PerfTelemetry.merged(tel for _, tel in outputs)
+    for shard_samples, _ in outputs:
+        for distance, readings in shard_samples.items():
+            samples.setdefault(distance, []).extend(readings)
+    return BatchCampaignResult(
+        samples=samples,
+        telemetry=telemetry,
+        wall_s=time.perf_counter() - t_start,
+        n_replicas=config.n_replicas,
+    )
+
+
+def run_scalar_reference(
+    config: BatchCampaignConfig,
+    n_replicas: Optional[int] = None,
+) -> BatchCampaignResult:
+    """The identical workload on the scalar engine (the baseline).
+
+    ``n_replicas`` can shrink the replica count so benchmarks can time
+    a scalar slice and extrapolate instead of paying the full cost.
+    """
+    if n_replicas is not None:
+        config = replace(config, n_replicas=n_replicas)
+    t_start = time.perf_counter()
+    samples: Dict[float, List[float]] = {}
+    epochs = 0
+    for distance in config.distances_m:
+        pooled = samples.setdefault(float(distance), [])
+        for replica in range(config.n_replicas):
+            streams = RandomStreams(config.seed).fork(replica + 1)
+            link = WirelessLink(
+                AerialChannel(profile_by_name(config.profile), streams),
+                scalar_controller(config.controller),
+                streams=streams,
+                epoch_s=config.epoch_s,
+            )
+            session = IperfSession(link, config.report_interval_s)
+            readings = session.run(
+                0.0,
+                config.duration_s,
+                lambda t: float(distance),
+                (lambda t: config.relative_speed_mps)
+                if config.relative_speed_mps
+                else None,
+            )
+            pooled.extend(readings.values.tolist())
+            epochs += int(round(config.duration_s / config.epoch_s))
+    telemetry = PerfTelemetry()
+    telemetry.count("replica_epochs", epochs)
+    return BatchCampaignResult(
+        samples=samples,
+        telemetry=telemetry,
+        wall_s=time.perf_counter() - t_start,
+        n_replicas=config.n_replicas,
+    )

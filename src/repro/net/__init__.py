@@ -1,5 +1,6 @@
 """Transport layer: packets, queues, the link engine, UDP and iperf."""
 
+from .batchlink import BatchLinkStepResult, BatchWirelessLink
 from .detailed import DetailedLink, DetailedTransferResult
 from .iperf import IperfSession
 from .link import LinkStepResult, WirelessLink
@@ -8,6 +9,8 @@ from .queue import BatchQueue
 from .udp import UdpTransfer
 
 __all__ = [
+    "BatchLinkStepResult",
+    "BatchWirelessLink",
     "DetailedLink",
     "DetailedTransferResult",
     "IperfSession",

@@ -20,10 +20,16 @@ from .rate_control import (
     DEFAULT_ARF_CHAIN,
     DEFAULT_CANDIDATES,
     ArfController,
+    BatchArfController,
+    BatchBestMcsOracle,
+    BatchFixedMcs,
+    BatchRateController,
     BestMcsOracle,
     FixedMcs,
     MinstrelController,
     RateController,
+    batch_controller,
+    scalar_controller,
 )
 
 __all__ = [
@@ -44,8 +50,14 @@ __all__ = [
     "DEFAULT_ARF_CHAIN",
     "DEFAULT_CANDIDATES",
     "ArfController",
+    "BatchArfController",
+    "BatchBestMcsOracle",
+    "BatchFixedMcs",
+    "BatchRateController",
     "BestMcsOracle",
     "FixedMcs",
     "MinstrelController",
     "RateController",
+    "batch_controller",
+    "scalar_controller",
 ]

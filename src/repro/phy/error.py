@@ -27,9 +27,10 @@ Two-stream entries additionally carry a success-probability ceiling
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Mapping
+
+import numpy as np
 
 from .mcs import MCS_TABLE, McsEntry, get_mcs
 
@@ -111,20 +112,82 @@ class ErrorModel:
         entry = get_mcs(mcs_index)
         threshold = self.threshold_db(mcs_index)
         x = (snr_db - threshold) / self.slope_db
-        # Logistic in SNR; guard the exponent against overflow.
+        # Logistic in SNR; guard the exponent against overflow.  The
+        # transcendentals go through NumPy's scalar ufunc path so that
+        # :meth:`per_array` (the vectorised twin) matches bit for bit.
         if x > 40.0:
             per_ref = 0.0
         elif x < -40.0:
             per_ref = 1.0
         else:
-            per_ref = 1.0 / (1.0 + math.exp(x))
+            per_ref = 1.0 / (1.0 + float(np.exp(x)))
         if per_ref >= 1.0:
             return 1.0
         success_ref = 1.0 - per_ref
-        success = success_ref ** (frame_bytes / self.reference_bytes)
+        success = float(
+            np.power(success_ref, frame_bytes / self.reference_bytes)
+        )
         if entry.uses_sdm:
             success *= self.sdm_efficiency
         return min(1.0, max(0.0, 1.0 - success))
+
+    def per_array(
+        self,
+        snr_db: np.ndarray,
+        mcs_index: np.ndarray,
+        frame_bytes: int = REFERENCE_FRAME_BYTES,
+    ) -> np.ndarray:
+        """Vectorised :meth:`per` over broadcast ``snr_db`` / ``mcs_index``.
+
+        ``mcs_index`` is an integer array (per-replica MCS choices);
+        ``snr_db`` broadcasts against it.  Elementwise the result is
+        bit-identical to the scalar :meth:`per`.
+        """
+        if frame_bytes <= 0:
+            raise ValueError("frame_bytes must be positive")
+        snr = np.asarray(snr_db, dtype=float)
+        mcs = np.asarray(mcs_index, dtype=np.int64)
+        thresholds, sdm = self._lookup_tables()
+        if np.any(mcs < 0) or np.any(mcs >= thresholds.shape[0]):
+            raise KeyError(f"no threshold for MCS indices {np.unique(mcs)}")
+        thr = thresholds[mcs]
+        if np.any(np.isnan(thr)):
+            bad = np.unique(mcs[np.isnan(thr)])
+            raise KeyError(f"no threshold for MCS indices {bad.tolist()}")
+        x = (snr - thr) / self.slope_db
+        exp_x = np.exp(np.clip(x, -60.0, 60.0))
+        per_ref = np.where(
+            x > 40.0, 0.0, np.where(x < -40.0, 1.0, 1.0 / (1.0 + exp_x))
+        )
+        success_ref = 1.0 - per_ref
+        success = np.power(success_ref, frame_bytes / self.reference_bytes)
+        success = np.where(sdm[mcs], success * self.sdm_efficiency, success)
+        per = np.minimum(1.0, np.maximum(0.0, 1.0 - success))
+        return np.where(per_ref >= 1.0, 1.0, per)
+
+    def success_probability_array(
+        self,
+        snr_db: np.ndarray,
+        mcs_index: np.ndarray,
+        frame_bytes: int = REFERENCE_FRAME_BYTES,
+    ) -> np.ndarray:
+        """Complement of :meth:`per_array`."""
+        return 1.0 - self.per_array(snr_db, mcs_index, frame_bytes)
+
+    def _lookup_tables(self) -> "tuple[np.ndarray, np.ndarray]":
+        """(threshold, uses_sdm) arrays indexed by MCS (lazily built)."""
+        cached = getattr(self, "_tables", None)
+        if cached is None:
+            size = max(self.thresholds_db) + 1
+            thresholds = np.full(size, np.nan)
+            sdm = np.zeros(size, dtype=bool)
+            for idx, value in self.thresholds_db.items():
+                thresholds[idx] = value
+                if idx in MCS_TABLE:
+                    sdm[idx] = get_mcs(idx).uses_sdm
+            cached = (thresholds, sdm)
+            object.__setattr__(self, "_tables", cached)
+        return cached
 
     def success_probability(
         self, snr_db: float, mcs_index: int, frame_bytes: int = REFERENCE_FRAME_BYTES

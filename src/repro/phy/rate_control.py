@@ -36,6 +36,12 @@ __all__ = [
     "BestMcsOracle",
     "MinstrelController",
     "ArfController",
+    "BatchRateController",
+    "BatchFixedMcs",
+    "BatchArfController",
+    "BatchBestMcsOracle",
+    "batch_controller",
+    "scalar_controller",
     "DEFAULT_CANDIDATES",
     "DEFAULT_ARF_CHAIN",
 ]
@@ -210,6 +216,248 @@ class ArfController:
                 self._clean_bursts = 0
                 if self._position < len(self._chain) - 1:
                     self._position += 1
+
+
+class BatchRateController(Protocol):
+    """Interface of the replica-batched rate-control algorithms.
+
+    Identical contract to :class:`RateController` but every argument
+    and return value is a per-replica ``(R,)`` array; one instance
+    carries the state of all R replicas.
+    """
+
+    n_replicas: int
+
+    def select(
+        self, now_s: float, snr_hint_db: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-replica MCS indices for the next burst."""
+        ...
+
+    def feedback(
+        self,
+        now_s: float,
+        mcs_index: np.ndarray,
+        attempted: np.ndarray,
+        succeeded: np.ndarray,
+    ) -> None:
+        """Report per-replica burst outcomes (subframe counts)."""
+        ...
+
+
+class BatchFixedMcs:
+    """Fixed MCS per replica (one index, or one per replica)."""
+
+    def __init__(self, index, n_replicas: int) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.n_replicas = n_replicas
+        indices = np.broadcast_to(
+            np.asarray(index, dtype=np.int64), (n_replicas,)
+        ).copy()
+        for idx in np.unique(indices):
+            get_mcs(int(idx))  # validate
+        self._indices = indices
+
+    def select(
+        self, now_s: float, snr_hint_db: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """The configured indices, unconditionally."""
+        return self._indices
+
+    def feedback(
+        self, now_s: float, mcs_index, attempted, succeeded
+    ) -> None:
+        """Fixed rate ignores feedback."""
+
+
+class BatchArfController:
+    """Array-state ARF: R independent chain positions stepped at once.
+
+    Transition rules are exactly :class:`ArfController`'s (step down on
+    a burst below ``down_threshold``, step up after ``up_streak`` clean
+    bursts), applied per replica with NumPy masks.  The algorithm is
+    deterministic, so replica r of a batch evolves identically to a
+    scalar controller fed the same outcomes.
+    """
+
+    def __init__(
+        self,
+        n_replicas: int,
+        chain: Optional[Sequence[int]] = None,
+        up_streak: int = 8,
+        down_threshold: float = 0.6,
+        start_index: int = 0,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self._chain = np.asarray(
+            list(chain) if chain is not None else DEFAULT_ARF_CHAIN,
+            dtype=np.int64,
+        )
+        if self._chain.size == 0:
+            raise ValueError("rate chain must not be empty")
+        for idx in self._chain:
+            get_mcs(int(idx))  # validate
+        if up_streak < 1:
+            raise ValueError("up_streak must be >= 1")
+        if not 0.0 < down_threshold <= 1.0:
+            raise ValueError("down_threshold must be in (0, 1]")
+        if not 0 <= start_index < self._chain.size:
+            raise ValueError("start_index out of chain bounds")
+        self.n_replicas = n_replicas
+        self._position = np.full(n_replicas, start_index, dtype=np.int64)
+        self._up_streak = up_streak
+        self._down_threshold = down_threshold
+        self._clean_bursts = np.zeros(n_replicas, dtype=np.int64)
+
+    @property
+    def chain(self) -> List[int]:
+        """The configured rate chain (ascending PHY rate)."""
+        return self._chain.tolist()
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Per-replica chain positions (copy)."""
+        return self._position.copy()
+
+    def select(
+        self, now_s: float, snr_hint_db: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Current per-replica chain MCS; ARF ignores SNR hints."""
+        return self._chain[self._position]
+
+    def feedback(
+        self,
+        now_s: float,
+        mcs_index: np.ndarray,
+        attempted: np.ndarray,
+        succeeded: np.ndarray,
+    ) -> None:
+        """Apply the per-replica down/up transitions in one pass."""
+        attempted = np.asarray(attempted, dtype=np.int64)
+        succeeded = np.asarray(succeeded, dtype=np.int64)
+        if np.any(attempted < 0) or np.any(succeeded < 0) or np.any(
+            succeeded > attempted
+        ):
+            raise ValueError("invalid feedback: succeeded must be in [0, attempted]")
+        active = attempted > 0
+        if not active.any():
+            return
+        ratio = succeeded / np.maximum(attempted, 1)
+        down = active & (ratio < self._down_threshold)
+        self._clean_bursts[down] = 0
+        self._position[down] = np.maximum(self._position[down] - 1, 0)
+        clean = active & ~down
+        self._clean_bursts[clean] += 1
+        up = clean & (self._clean_bursts >= self._up_streak)
+        self._clean_bursts[up] = 0
+        self._position[up] = np.minimum(
+            self._position[up] + 1, self._chain.size - 1
+        )
+
+
+class BatchBestMcsOracle:
+    """Array-state genie: per-replica goodput-maximising MCS at the hint.
+
+    Same tie-breaking as :class:`BestMcsOracle` (first candidate wins),
+    evaluated as one candidates x replicas matrix per epoch through
+    :meth:`ErrorModel.per_array`.
+    """
+
+    def __init__(
+        self,
+        error_model: ErrorModel,
+        n_replicas: int,
+        phy: PhyConfig = PhyConfig(),
+        candidates: Optional[Sequence[int]] = None,
+        subframe_bytes: int = 1540,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self._error_model = error_model
+        self._phy = phy
+        self._candidates = np.asarray(
+            list(candidates) if candidates is not None else DEFAULT_CANDIDATES,
+            dtype=np.int64,
+        )
+        if self._candidates.size == 0:
+            raise ValueError("candidate set must not be empty")
+        self._rates = np.array(
+            [phy.data_rate_bps(int(c)) for c in self._candidates]
+        )
+        self._subframe_bytes = subframe_bytes
+        self.n_replicas = n_replicas
+        self._last_choice = np.full(
+            n_replicas, self._candidates[0], dtype=np.int64
+        )
+
+    @property
+    def candidates(self) -> List[int]:
+        """The MCS indices the oracle considers."""
+        return self._candidates.tolist()
+
+    def expected_goodput_bps(self, snr_db: np.ndarray) -> np.ndarray:
+        """Candidates x replicas matrix of rate x success probability."""
+        snr = np.asarray(snr_db, dtype=float)
+        success = self._error_model.success_probability_array(
+            snr[None, :], self._candidates[:, None], self._subframe_bytes
+        )
+        return self._rates[:, None] * success
+
+    def select(
+        self, now_s: float, snr_hint_db: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-replica goodput-maximising candidates for the hinted SNR."""
+        if snr_hint_db is None:
+            return self._last_choice
+        goodput = self.expected_goodput_bps(snr_hint_db)
+        self._last_choice = self._candidates[np.argmax(goodput, axis=0)]
+        return self._last_choice
+
+    def feedback(
+        self, now_s: float, mcs_index, attempted, succeeded
+    ) -> None:
+        """The oracle does not learn from feedback."""
+
+
+def scalar_controller(spec: str, error_model: Optional[ErrorModel] = None,
+                      phy: Optional[PhyConfig] = None) -> RateController:
+    """Build a scalar controller from a spec string.
+
+    Specs: ``"arf"``, ``"fixed:<mcs>"``, ``"oracle"`` — the picklable
+    controller naming shared with the replica-batched campaign runner.
+    """
+    if spec == "arf":
+        return ArfController()
+    if spec == "oracle":
+        return BestMcsOracle(
+            error_model if error_model is not None else ErrorModel(),
+            phy if phy is not None else PhyConfig(),
+        )
+    if spec.startswith("fixed:"):
+        return FixedMcs(int(spec.split(":", 1)[1]))
+    raise ValueError(f"unknown controller spec {spec!r}")
+
+
+def batch_controller(
+    spec: str,
+    n_replicas: int,
+    error_model: Optional[ErrorModel] = None,
+    phy: Optional[PhyConfig] = None,
+) -> "BatchRateController":
+    """Build the replica-batched controller for a spec string."""
+    if spec == "arf":
+        return BatchArfController(n_replicas)
+    if spec == "oracle":
+        return BatchBestMcsOracle(
+            error_model if error_model is not None else ErrorModel(),
+            n_replicas,
+            phy if phy is not None else PhyConfig(),
+        )
+    if spec.startswith("fixed:"):
+        return BatchFixedMcs(int(spec.split(":", 1)[1]), n_replicas)
+    raise ValueError(f"unknown controller spec {spec!r}")
 
 
 @dataclass

@@ -159,6 +159,21 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _next_live(self) -> Optional[Event]:
+        """Drop cancelled events off the queue head; return the next live one.
+
+        The returned event stays queued (peek semantics).  This is the
+        single place stale events are drained, so cancellation behaves
+        identically whether the queue is advanced by :meth:`run`,
+        :meth:`step` or inspected by :meth:`peek` — in particular, an
+        event cancelled by an earlier callback at the *same* timestamp
+        is dropped here and never fires.
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0] if queue else None
+
     def run(self, until: Optional[float] = None) -> None:
         """Drain the event queue.
 
@@ -172,13 +187,13 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         try:
-            while self._queue:
-                event = self._queue[0]
+            while True:
+                event = self._next_live()
+                if event is None:
+                    break
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._queue)
-                if event.cancelled:
-                    continue
                 self._now = event.time
                 self._processed += 1
                 try:
@@ -195,21 +210,19 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the queue is empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._processed += 1
-            event.callback()
-            return True
-        return False
+        event = self._next_live()
+        if event is None:
+            return False
+        heapq.heappop(self._queue)
+        self._now = event.time
+        self._processed += 1
+        event.callback()
+        return True
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        event = self._next_live()
+        return event.time if event is not None else None
 
 
 class Timer:

@@ -1,0 +1,136 @@
+"""Property-based tests: batched kernels agree with their scalar twins.
+
+The batched engine is only trustworthy if every vectorised kernel is a
+drop-in for the scalar code it shadows.  Hypothesis drives the scalar
+and array paths with the same inputs (and, for the stochastic kernels,
+identically seeded streams) and demands elementwise agreement.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    BatchGaussMarkovShadowing,
+    BatchRicianFading,
+    GaussMarkovShadowing,
+    RicianFading,
+    ShadowingConfig,
+)
+from repro.phy import ErrorModel, all_mcs_indices
+from repro.sim import RandomStreams
+
+snr = st.floats(min_value=-20.0, max_value=60.0, allow_nan=False)
+mcs = st.sampled_from(sorted(all_mcs_indices()))
+frame_bytes = st.integers(min_value=1, max_value=4096)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestErrorModelBatchProperties:
+    @given(
+        snrs=st.lists(snr, min_size=1, max_size=16),
+        mcs_index=mcs,
+        n_bytes=frame_bytes,
+    )
+    def test_per_array_matches_scalar_elementwise(self, snrs, mcs_index, n_bytes):
+        model = ErrorModel()
+        got = model.per_array(
+            np.asarray(snrs), mcs_index, frame_bytes=n_bytes
+        )
+        want = [model.per(s, mcs_index, frame_bytes=n_bytes) for s in snrs]
+        assert got.shape == (len(snrs),)
+        np.testing.assert_array_equal(got, np.asarray(want))
+
+    @given(
+        snrs=st.lists(snr, min_size=1, max_size=16),
+        mcs_indices=st.lists(mcs, min_size=1, max_size=16),
+        n_bytes=frame_bytes,
+    )
+    def test_per_array_mixed_mcs(self, snrs, mcs_indices, n_bytes):
+        model = ErrorModel()
+        n = min(len(snrs), len(mcs_indices))
+        snr_arr = np.asarray(snrs[:n])
+        mcs_arr = np.asarray(mcs_indices[:n])
+        got = model.per_array(snr_arr, mcs_arr, frame_bytes=n_bytes)
+        want = [
+            model.per(s, int(m), frame_bytes=n_bytes)
+            for s, m in zip(snr_arr, mcs_arr)
+        ]
+        np.testing.assert_array_equal(got, np.asarray(want))
+
+    @given(snrs=st.lists(snr, min_size=1, max_size=16), mcs_index=mcs)
+    def test_success_probability_array_complement(self, snrs, mcs_index):
+        model = ErrorModel()
+        arr = np.asarray(snrs)
+        per = model.per_array(arr, mcs_index)
+        ok = model.success_probability_array(arr, mcs_index)
+        np.testing.assert_allclose(per + ok, 1.0, rtol=0, atol=1e-12)
+        assert np.all((per >= 0.0) & (per <= 1.0))
+
+
+class TestFadingBatchProperties:
+    @given(seed=seeds, n_steps=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=50, deadline=None)
+    def test_shadowing_r1_bit_identical(self, seed, n_steps):
+        config = ShadowingConfig()
+        scalar = GaussMarkovShadowing(
+            config, RandomStreams(seed).get("channel.shadowing")
+        )
+        batched = BatchGaussMarkovShadowing(
+            config, RandomStreams(seed).get("channel.shadowing"), n_replicas=1
+        )
+        now = 0.0
+        for _ in range(n_steps):
+            want = scalar.sample(now)
+            got = batched.sample(np.array([now]))
+            assert got.shape == (1,)
+            assert float(got[0]) == want
+            now += 0.13  # > epoch_s so dropout epochs roll over regularly
+
+    @given(
+        seed=seeds,
+        speed=st.floats(min_value=0.0, max_value=40.0),
+        n_steps=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rician_r1_bit_identical(self, seed, speed, n_steps):
+        scalar = RicianFading(RandomStreams(seed).get("channel.rician"))
+        batched = BatchRicianFading(
+            RandomStreams(seed).get("channel.rician"), n_replicas=1
+        )
+        for _ in range(n_steps):
+            want = scalar.sample_db(relative_speed_mps=speed)
+            got = batched.sample_db(np.array([speed]))
+            assert got.shape == (1,)
+            assert float(got[0]) == want
+
+    @given(seed=seeds, n_replicas=st.integers(min_value=2, max_value=32))
+    @settings(max_examples=25, deadline=None)
+    def test_shadowing_batch_stays_bounded(self, seed, n_replicas):
+        config = ShadowingConfig()
+        batched = BatchGaussMarkovShadowing(
+            config,
+            RandomStreams(seed).get("channel.shadowing"),
+            n_replicas=n_replicas,
+        )
+        now = np.zeros(n_replicas)
+        for _ in range(20):
+            sample = batched.sample(now)
+            assert sample.shape == (n_replicas,)
+            # 8-sigma plus the dropout depth: state corruption, not noise.
+            assert np.all(
+                np.abs(sample) < 8.0 * config.sigma_db + config.dropout_depth_db
+            )
+            now = now + 0.13
+
+    @given(seed=seeds, n_replicas=st.integers(min_value=2, max_value=32))
+    @settings(max_examples=25, deadline=None)
+    def test_rician_batch_finite_and_shaped(self, seed, n_replicas):
+        batched = BatchRicianFading(
+            RandomStreams(seed).get("channel.rician"), n_replicas=n_replicas
+        )
+        speeds = np.full(n_replicas, 10.0)
+        for _ in range(20):
+            sample = batched.sample_db(speeds)
+            assert sample.shape == (n_replicas,)
+            assert np.all(np.isfinite(sample))

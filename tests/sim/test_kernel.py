@@ -214,3 +214,51 @@ class TestProcesses:
 
         handle = sim.spawn(proc())
         assert handle.finished
+
+
+class TestSameTimestampCancellation:
+    """The drain helper must drop events cancelled at their own timestamp."""
+
+    def test_cancel_sibling_event_at_same_time_never_fires(self, sim):
+        fired = []
+        victim = sim.schedule(1.0, lambda: fired.append("victim"))
+        # Same timestamp, earlier insertion: runs first and cancels the
+        # sibling before the loop reaches it.
+        sim.schedule(1.0, lambda: victim.cancel(), priority=-1)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_timer_inside_same_timestamp_callback(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append("timer"))
+        timer.arm(1.0)
+        sim.schedule(1.0, timer.cancel, priority=-1)
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_step_skips_event_cancelled_at_same_time(self, sim):
+        fired = []
+        victim = sim.schedule(1.0, lambda: fired.append("victim"))
+        sim.schedule(1.0, lambda: victim.cancel(), priority=-1)
+        assert sim.step() is True   # the canceller
+        assert sim.step() is False  # victim was drained, not executed
+        assert fired == []
+
+    def test_peek_drains_cancelled_head(self, sim):
+        early = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        early.cancel()
+        assert sim.peek() == 2.0
+        # The cancelled head was physically removed by the drain.
+        assert sim.pending == 1
+
+    def test_run_until_does_not_execute_cancelled_future_event(self, sim):
+        fired = []
+        future = sim.schedule(5.0, lambda: fired.append("future"))
+        future.cancel()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        assert fired == []
+        sim.run()
+        assert fired == []

@@ -127,3 +127,50 @@ class TestMissionCommand:
         assert main(["mission", "--episodes", "2", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "optimal" in out and "immediate" in out and "closest" in out
+
+
+class TestBenchCommand:
+    BENCH_ARGS = [
+        "bench", "--replicas", "4", "--duration", "2",
+        "--distances", "80", "240", "--seed", "3", "--no-parallel",
+    ]
+
+    def test_bench_text_report(self, capsys):
+        assert main(self.BENCH_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "scalar engine" in out
+        assert "batched engine" in out
+        assert "speedup" in out
+        assert "stage channel" in out
+        assert "median @" in out
+
+    def test_bench_json_payload(self, capsys):
+        assert main(self.BENCH_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"]["n_replicas"] == 4
+        assert payload["workload"]["distances_m"] == [80.0, 240.0]
+        assert payload["speedup"] > 0
+        telemetry = payload["batched"]["telemetry"]
+        for stage in ("channel", "control", "error", "mac",
+                      "delivery", "feedback"):
+            assert telemetry["stages"][stage]["calls"] > 0
+        assert telemetry["counters"]["mean_cache_hits"] > 0
+        assert telemetry["counters"]["replica_epochs"] == 2 * 4 * 100
+        assert set(payload["solver_cache"]) == {
+            "hits", "misses", "currsize", "maxsize",
+        }
+        for rel in payload["median_agreement"].values():
+            assert rel >= 0.0
+
+    def test_bench_scalar_slice_extrapolates(self, capsys):
+        assert main(self.BENCH_ARGS + ["--scalar-replicas", "2",
+                                       "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"]["scalar_replicas_timed"] == 2
+        assert payload["scalar"]["wall_s"] == pytest.approx(
+            payload["scalar"]["measured_wall_s"] * 2, rel=1e-9
+        )
+
+    def test_bench_rejects_bad_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--profile", "zeppelin"])
