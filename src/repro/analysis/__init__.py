@@ -1,0 +1,59 @@
+"""``reprolint`` — AST-based domain-invariant checkers for the repro tree.
+
+The rules (see :mod:`repro.analysis.base` and docs/STATIC_ANALYSIS.md):
+
+* **RL101 rng-discipline** — randomness only via the seeded stream
+  registry (:mod:`repro.sim.random`).
+* **RL102 sim-time-purity** — no wall-clock reads in simulation code.
+* **RL103 unit-suffix-discipline** — no dB/linear mixing; config
+  floats carry unit suffixes.
+* **RL104 float-equality** — no exact ``==``/``!=`` on float literals.
+* **RL105 batch-twin-parity** — ``Batch*`` classes mirror their scalar
+  twins' public API modulo the array dimension.
+
+Run it as ``repro lint [--json] [--rule RL10x ...]``, or from code::
+
+    from repro.analysis import run_lint
+    report = run_lint()
+    assert report.ok, report.summary_lines()
+"""
+
+from .base import Finding, Rule, all_rules  # noqa: F401
+from .baseline import Baseline  # noqa: F401
+from .checkers import (  # noqa: F401  (import registers RL101-RL104)
+    FloatEqualityChecker,
+    RngDisciplineChecker,
+    SimTimePurityChecker,
+    UnitSuffixChecker,
+)
+from .parity import BatchTwinParityChecker, ParityPair  # noqa: F401
+from .suppress import split_suppressed, suppressions_for_source  # noqa: F401
+from .runner import (  # noqa: F401
+    BASELINE_FILENAME,
+    LintReport,
+    default_baseline_path,
+    default_root,
+    lint_sources,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "Baseline",
+    "RngDisciplineChecker",
+    "SimTimePurityChecker",
+    "UnitSuffixChecker",
+    "FloatEqualityChecker",
+    "BatchTwinParityChecker",
+    "ParityPair",
+    "split_suppressed",
+    "suppressions_for_source",
+    "LintReport",
+    "run_lint",
+    "lint_sources",
+    "default_root",
+    "default_baseline_path",
+    "BASELINE_FILENAME",
+]

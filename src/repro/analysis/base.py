@@ -1,0 +1,176 @@
+"""Core types of the ``reprolint`` static-analysis framework.
+
+The reproduction's fidelity rests on a handful of *domain invariants*
+(seeded randomness, suffixed units, simulated-time purity, exact
+scalar↔batch twinning) that ordinary linters cannot see.  ``reprolint``
+parses the source tree with :mod:`ast` and runs a registry of pluggable
+checkers, each owning one rule ID:
+
+========  ============================================================
+RL101     rng-discipline — all randomness flows through the seeded
+          stream registry in :mod:`repro.sim.random`
+RL102     sim-time purity — no wall-clock reads inside simulation code
+RL103     unit-suffix discipline — no dB/linear mixing, no unsuffixed
+          physical-quantity defaults in config dataclasses
+RL104     float-equality — no ``==``/``!=`` against float literals
+RL105     batch-twin parity — every ``Batch*`` class mirrors its
+          scalar twin's public API modulo the array dimension
+========  ============================================================
+
+Checkers come in two shapes: *module* checkers (see
+:class:`ModuleChecker`) visit one file at a time; *tree* checkers (see
+:class:`TreeChecker`) see every parsed module at once, which RL105
+needs to pair classes across files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ModuleInfo",
+    "ModuleChecker",
+    "TreeChecker",
+    "register_checker",
+    "all_checkers",
+    "all_rules",
+    "checkers_for",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Identity and rationale of one lint rule."""
+
+    id: str
+    name: str
+    #: One-line statement of the invariant the rule protects.
+    summary: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    #: The stripped source line, used for baseline fingerprinting so
+    #: findings survive unrelated line-number drift.
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Location-stable identity: (rule, path, snippet)."""
+        return (self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload.get("line", 0)),
+            message=str(payload.get("message", "")),
+            snippet=str(payload.get("snippet", "")),
+        )
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, as handed to checkers."""
+
+    #: Path relative to the linted root, in POSIX form.
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def snippet(self, line: int) -> str:
+        """The stripped source text of 1-indexed ``line``."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        line = getattr(node, "lineno", 0)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+
+class ModuleChecker:
+    """Base for checkers that inspect one module at a time."""
+
+    rule: Rule
+
+    def check_module(self, module: ModuleInfo) -> List[Finding]:
+        """Findings for one parsed file."""
+        raise NotImplementedError
+
+
+class TreeChecker:
+    """Base for checkers that need the whole tree (cross-file rules)."""
+
+    rule: Rule
+
+    def check_tree(self, modules: Dict[str, ModuleInfo]) -> List[Finding]:
+        """Findings across all parsed files."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_checker(cls: type) -> type:
+    """Class decorator adding a checker to the global registry."""
+    rule = cls.rule
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate checker for rule {rule.id}")
+    _REGISTRY[rule.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by ID."""
+    return [_REGISTRY[rule_id].rule for rule_id in sorted(_REGISTRY)]
+
+
+def all_checkers() -> List[object]:
+    """Fresh instances of every registered checker, sorted by rule ID."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def checkers_for(rule_ids: Optional[List[str]] = None) -> List[object]:
+    """Fresh checker instances for ``rule_ids`` (all when ``None``)."""
+    if rule_ids is None:
+        return all_checkers()
+    unknown = sorted(set(rule_ids) - set(_REGISTRY))
+    if unknown:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown rule(s) {unknown}; known rules: {known}")
+    return [_REGISTRY[rule_id]() for rule_id in sorted(set(rule_ids))]

@@ -1,0 +1,98 @@
+"""Committed-baseline support: grandfather old findings, block new ones.
+
+A baseline file records the fingerprints of findings that pre-date the
+lint rule (or were accepted deliberately).  CI fails only on findings
+*not* in the baseline, so enabling a new rule never blocks unrelated
+work, while every newly introduced violation does.
+
+Fingerprints are ``(rule, path, stripped source line)`` with a
+multiplicity count — robust against unrelated edits moving a finding
+to a different line number, while still expiring when the offending
+line itself is edited or removed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .base import Finding
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    def __init__(
+        self, counts: "Dict[Tuple[str, str, str], int] | None" = None
+    ) -> None:
+        self._counts: Dict[Tuple[str, str, str], int] = dict(counts or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """A baseline accepting exactly the given findings."""
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.fingerprint
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}"
+            )
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for entry in payload.get("entries", []):
+            key = (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry.get("snippet", "")),
+            )
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        entries = [
+            {"rule": rule, "path": file_path, "snippet": snippet, "count": n}
+            for (rule, file_path, snippet), n in sorted(self._counts.items())
+        ]
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def split_new(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, baselined).
+
+        Each fingerprint absorbs at most its recorded multiplicity, so
+        *adding another* copy of a baselined violation still fails.
+        """
+        remaining = dict(self._counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined

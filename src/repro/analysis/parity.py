@@ -1,0 +1,294 @@
+"""RL105 — scalar↔batch twin parity.
+
+PR 2 established the lockstep contract: every ``Batch*`` engine class
+reproduces its scalar twin bit for bit at ``n_replicas == 1``.  That
+contract only holds while the twins expose the *same* public API — a
+method added to the scalar class but not mirrored in the batch class
+silently forks their behaviour, and no runtime test notices until the
+divergent path is exercised.  RL105 turns the contract into a lint
+rule:
+
+* every class named ``Batch<X>`` with a scalar class ``<X>`` anywhere
+  in the tree must mirror each of ``<X>``'s public methods, either
+  under the same name or with a ``_batch``/``_array`` suffix
+  (``sample_snr_db`` → ``sample_snr_db_batch``);
+* mirrored signatures must agree parameter-for-parameter, modulo the
+  array dimension: the batch side may add the batch-only parameters
+  ``n_replicas``, ``telemetry`` and ``parallel``, and may pluralise a
+  quantity (``scenario`` → ``scenarios``, ``distance_m`` →
+  ``distances_m``); everything else must match in name and order
+  (annotations and defaults are free to change from scalar to array);
+* within a single class, a ``<m>_array``/``<m>_batch`` method whose
+  scalar base ``<m>`` exists (e.g. :meth:`ErrorModel.per` /
+  :meth:`ErrorModel.per_array`) is held to the same signature rule.
+
+Classes whose scalar half would be ambiguous (several same-named
+classes in different packages) are skipped rather than guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .base import Finding, ModuleInfo, Rule, TreeChecker, register_checker
+
+__all__ = ["BatchTwinParityChecker", "ParityPair"]
+
+#: Parameters the batch side may add anywhere in the signature
+#: (replica count, perf instrumentation, fan-out control).
+_BATCH_ONLY_PARAMS = {"n_replicas", "telemetry", "parallel"}
+
+#: Suffixes under which a scalar method may be mirrored.
+_MIRROR_SUFFIXES = ("", "_batch", "_array")
+
+
+@dataclass(frozen=True)
+class ParityPair:
+    """One scalar↔batch pairing RL105 verified (for reporting)."""
+
+    kind: str  # "class" or "method"
+    scalar: str  # e.g. "net/link.py::WirelessLink"
+    batch: str  # e.g. "net/batchlink.py::BatchWirelessLink"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"kind": self.kind, "scalar": self.scalar, "batch": self.batch}
+
+
+@dataclass
+class _ClassInfo:
+    path: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    #: method name -> (parameter names sans self, def line)
+    methods: Dict[str, Tuple[List[str], int]]
+
+
+def _method_params(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> List[str]:
+    args = fn.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _class_methods(node: ast.ClassDef) -> Dict[str, Tuple[List[str], int]]:
+    methods: Dict[str, Tuple[List[str], int]] = {}
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[stmt.name] = (_method_params(stmt), stmt.lineno)
+    return methods
+
+
+def _strip_batch_only(params: List[str]) -> List[str]:
+    return [p for p in params if p not in _BATCH_ONLY_PARAMS]
+
+
+def _array_names(param: str) -> "set[str]":
+    """Accepted batch-side spellings of a scalar parameter name.
+
+    The array dimension may pluralise the quantity: ``scenario`` →
+    ``scenarios``, and for unit-suffixed names the plural lands before
+    the suffix (``distance_m`` → ``distances_m``).
+    """
+    names = {param, param + "s"}
+    if "_" in param:
+        stem, _, suffix = param.rpartition("_")
+        if stem:
+            names.add(f"{stem}s_{suffix}")
+    return names
+
+
+def _params_match(scalar_params: List[str], batch_params: List[str]) -> bool:
+    """Positional name-for-name match, modulo the array dimension."""
+    if len(scalar_params) != len(batch_params):
+        return False
+    return all(
+        batch in _array_names(scalar)
+        for scalar, batch in zip(scalar_params, batch_params)
+    )
+
+
+@register_checker
+class BatchTwinParityChecker(TreeChecker):
+    """RL105: every ``Batch*`` class mirrors its scalar twin's API."""
+
+    rule = Rule(
+        id="RL105",
+        name="batch-twin-parity",
+        summary=(
+            "Batch* classes mirror their scalar twin's public methods "
+            "and signatures modulo the array dimension"
+        ),
+    )
+
+    def __init__(self) -> None:
+        #: Pairings verified by the last :meth:`check_tree` run.
+        self.pairs: List[ParityPair] = []
+
+    # ------------------------------------------------------------------
+    def check_tree(self, modules: Dict[str, ModuleInfo]) -> List[Finding]:
+        classes = self._collect_classes(modules)
+        findings: List[Finding] = []
+        self.pairs = []
+        for name, infos in sorted(classes.items()):
+            for info in infos:
+                findings.extend(
+                    self._check_method_twins(name, info)
+                )
+                if name.startswith("Batch") and len(name) > len("Batch"):
+                    findings.extend(
+                        self._check_class_twin(name, info, classes)
+                    )
+        return findings
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _collect_classes(
+        modules: Dict[str, ModuleInfo]
+    ) -> Dict[str, List[_ClassInfo]]:
+        classes: Dict[str, List[_ClassInfo]] = {}
+        for path in sorted(modules):
+            module = modules[path]
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes.setdefault(node.name, []).append(
+                        _ClassInfo(
+                            path=path,
+                            module=module,
+                            node=node,
+                            methods=_class_methods(node),
+                        )
+                    )
+        return classes
+
+    @staticmethod
+    def _pick_scalar(
+        batch: _ClassInfo, candidates: List[_ClassInfo]
+    ) -> Optional[_ClassInfo]:
+        """The scalar twin: same module, then same package, else unique."""
+        same_module = [c for c in candidates if c.path == batch.path]
+        if len(same_module) == 1:
+            return same_module[0]
+        package = batch.path.rsplit("/", 1)[0] if "/" in batch.path else ""
+        same_package = [
+            c
+            for c in candidates
+            if (c.path.rsplit("/", 1)[0] if "/" in c.path else "") == package
+        ]
+        if len(same_package) == 1:
+            return same_package[0]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # ------------------------------------------------------------------
+    def _check_class_twin(
+        self,
+        batch_name: str,
+        batch: _ClassInfo,
+        classes: Dict[str, List[_ClassInfo]],
+    ) -> List[Finding]:
+        scalar_name = batch_name[len("Batch"):]
+        candidates = classes.get(scalar_name)
+        if not candidates:
+            return []  # no scalar twin anywhere: not a twin pair
+        scalar = self._pick_scalar(batch, candidates)
+        if scalar is None:
+            return []
+        self.pairs.append(
+            ParityPair(
+                kind="class",
+                scalar=f"{scalar.path}::{scalar_name}",
+                batch=f"{batch.path}::{batch_name}",
+            )
+        )
+        findings: List[Finding] = []
+        for method, (scalar_params, _line) in sorted(scalar.methods.items()):
+            explicit_init = method == "__init__"
+            if method.startswith("_") and not explicit_init:
+                continue
+            if explicit_init and "__init__" not in batch.methods:
+                continue  # batch may rely on @dataclass-generated init
+            mirror = self._find_mirror(method, batch)
+            if mirror is None:
+                findings.append(
+                    batch.module.finding(
+                        self.rule.id,
+                        batch.node,
+                        f"{batch_name} does not mirror scalar twin "
+                        f"method {scalar_name}.{method}() "
+                        f"(expected '{method}', '{method}_batch' or "
+                        f"'{method}_array')",
+                    )
+                )
+                continue
+            mirror_name, (batch_params, line) = mirror
+            stripped = _strip_batch_only(batch_params)
+            if not _params_match(scalar_params, stripped):
+                anchor = _LineAnchor(line)
+                findings.append(
+                    batch.module.finding(
+                        self.rule.id,
+                        anchor,
+                        f"{batch_name}.{mirror_name}({', '.join(stripped)}) "
+                        f"does not match scalar twin "
+                        f"{scalar_name}.{method}({', '.join(scalar_params)}) "
+                        "modulo the array dimension",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _find_mirror(
+        method: str, batch: _ClassInfo
+    ) -> Optional[Tuple[str, Tuple[List[str], int]]]:
+        for suffix in _MIRROR_SUFFIXES:
+            candidate = method + suffix
+            if candidate in batch.methods:
+                return candidate, batch.methods[candidate]
+        return None
+
+    # ------------------------------------------------------------------
+    def _check_method_twins(
+        self, class_name: str, info: _ClassInfo
+    ) -> List[Finding]:
+        """``m_array``/``m_batch`` methods must match their base ``m``."""
+        findings: List[Finding] = []
+        for method, (batch_params, line) in sorted(info.methods.items()):
+            for suffix in ("_array", "_batch"):
+                if not method.endswith(suffix):
+                    continue
+                base = method[: -len(suffix)]
+                if not base or base not in info.methods:
+                    continue
+                scalar_params, _base_line = info.methods[base]
+                self.pairs.append(
+                    ParityPair(
+                        kind="method",
+                        scalar=f"{info.path}::{class_name}.{base}",
+                        batch=f"{info.path}::{class_name}.{method}",
+                    )
+                )
+                stripped = _strip_batch_only(batch_params)
+                if not _params_match(scalar_params, stripped):
+                    findings.append(
+                        info.module.finding(
+                            self.rule.id,
+                            _LineAnchor(line),
+                            f"{class_name}.{method}"
+                            f"({', '.join(stripped)}) does not match its "
+                            f"scalar base {class_name}.{base}"
+                            f"({', '.join(scalar_params)}) modulo the "
+                            "array dimension",
+                        )
+                    )
+        return findings
+
+
+class _LineAnchor:
+    """Minimal stand-in for an AST node at a known line."""
+
+    def __init__(self, lineno: int) -> None:
+        self.lineno = lineno

@@ -1,0 +1,260 @@
+"""The ``reprolint`` runner: walk, parse, check, filter, report.
+
+:func:`run_lint` is the single entry point used by the ``repro lint``
+CLI subcommand, CI and the tests.  It walks a source tree, parses every
+``.py`` file once, runs the selected checkers (module-level rules per
+file, tree-level rules across all files), then filters findings
+through per-line suppression comments and the committed baseline.
+
+Wall-clock per stage is charged to a :class:`repro.perf.PerfTelemetry`
+(``walk`` / ``parse`` / ``check:<rule>`` / ``filter``), surfaced in the
+``--json`` report so lint runtime regressions show up next to the
+engine benchmarks.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..perf import PerfTelemetry
+from .base import (
+    Finding,
+    ModuleChecker,
+    ModuleInfo,
+    TreeChecker,
+    all_rules,
+    checkers_for,
+)
+from .baseline import Baseline
+from .parity import BatchTwinParityChecker, ParityPair
+from .suppress import split_suppressed, suppressions_for_source
+
+__all__ = [
+    "LintReport",
+    "run_lint",
+    "lint_sources",
+    "default_root",
+    "default_baseline_path",
+    "BASELINE_FILENAME",
+]
+
+BASELINE_FILENAME = ".reprolint-baseline.json"
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package — the tree the invariants govern."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_baseline_path(root: Path) -> Optional[Path]:
+    """Locate a committed baseline near ``root`` or the working directory.
+
+    Checks the working directory first (the checkout the developer is
+    in), then walks up from the linted root (``src/repro`` →
+    ``src`` → repo root), returning the first baseline file found.
+    """
+    candidates = [Path.cwd() / BASELINE_FILENAME]
+    candidates += [
+        parent / BASELINE_FILENAME for parent in Path(root).resolve().parents
+    ]
+    for candidate in candidates[:4]:
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    root: str
+    #: Rule IDs that ran.
+    rules: List[str]
+    #: All findings that survived inline suppression.
+    findings: List[Finding]
+    #: Findings not covered by the baseline — these fail the run.
+    new_findings: List[Finding]
+    #: Findings absorbed by the committed baseline.
+    baselined: List[Finding]
+    #: Findings silenced by ``# reprolint: disable=...`` comments.
+    suppressed: List[Finding]
+    #: Scalar↔batch pairings RL105 verified.
+    parity_pairs: List[ParityPair]
+    checked_files: int
+    telemetry: PerfTelemetry = field(default_factory=PerfTelemetry)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing new was found (the CI gate)."""
+        return not self.new_findings
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable report (the ``repro lint --json`` payload)."""
+        return {
+            "root": self.root,
+            "rules": list(self.rules),
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "counts": {
+                "findings": len(self.findings),
+                "new": len(self.new_findings),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "parity_pairs": len(self.parity_pairs),
+            },
+            "new_findings": [f.to_dict() for f in self.new_findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "parity_pairs": [p.to_dict() for p in self.parity_pairs],
+            "telemetry": self.telemetry.as_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report: one line per new finding + a summary."""
+        lines = [
+            f"{f.path}:{f.line}: {f.rule} {f.message}"
+            for f in self.new_findings
+        ]
+        lines.append(
+            f"reprolint: {len(self.new_findings)} new finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed, "
+            f"{len(self.parity_pairs)} parity pair(s) verified "
+            f"across {self.checked_files} file(s) "
+            f"[rules: {', '.join(self.rules)}]"
+        )
+        return lines
+
+
+# ----------------------------------------------------------------------
+
+def _walk_tree(root: Path) -> List[Path]:
+    return sorted(
+        p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+    )
+
+
+def _parse_modules(
+    root: Path, files: List[Path], telemetry: PerfTelemetry
+) -> Dict[str, ModuleInfo]:
+    modules: Dict[str, ModuleInfo] = {}
+    with telemetry.stage("parse"):
+        for path in files:
+            relative = path.relative_to(root).as_posix()
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+            modules[relative] = ModuleInfo(
+                path=relative, source=source, tree=tree
+            )
+    return modules
+
+
+def lint_sources(
+    sources: Dict[str, str],
+    rules: Optional[List[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint in-memory ``{relative_path: source}`` (fixture-friendly)."""
+    modules = {
+        path: ModuleInfo(path=path, source=source, tree=ast.parse(source))
+        for path, source in sources.items()
+    }
+    return _lint_modules(
+        modules, root="<memory>", rules=rules, baseline=baseline
+    )
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    rules: Optional[List[str]] = None,
+    baseline_path: Optional[Path] = None,
+    use_baseline: bool = True,
+    telemetry: Optional[PerfTelemetry] = None,
+) -> LintReport:
+    """Lint a source tree on disk.
+
+    ``baseline_path=None`` with ``use_baseline=True`` auto-discovers a
+    committed ``.reprolint-baseline.json`` via
+    :func:`default_baseline_path`.
+    """
+    telemetry = telemetry if telemetry is not None else PerfTelemetry()
+    root = Path(root) if root is not None else default_root()
+    if not root.is_dir():
+        raise FileNotFoundError(f"lint root {root} is not a directory")
+    with telemetry.stage("walk"):
+        files = _walk_tree(root)
+    modules = _parse_modules(root, files, telemetry)
+    baseline = None
+    if use_baseline:
+        if baseline_path is None:
+            baseline_path = default_baseline_path(root)
+        if baseline_path is not None:
+            baseline = Baseline.load(Path(baseline_path))
+    return _lint_modules(
+        modules,
+        root=str(root),
+        rules=rules,
+        baseline=baseline,
+        telemetry=telemetry,
+    )
+
+
+def _lint_modules(
+    modules: Dict[str, ModuleInfo],
+    root: str,
+    rules: Optional[List[str]] = None,
+    baseline: Optional[Baseline] = None,
+    telemetry: Optional[PerfTelemetry] = None,
+) -> LintReport:
+    telemetry = telemetry if telemetry is not None else PerfTelemetry()
+    checkers = checkers_for(rules)
+    raw: List[Finding] = []
+    parity_pairs: List[ParityPair] = []
+    for checker in checkers:
+        with telemetry.stage(f"check:{checker.rule.id}"):
+            if isinstance(checker, ModuleChecker):
+                for module in modules.values():
+                    raw.extend(checker.check_module(module))
+            elif isinstance(checker, TreeChecker):
+                raw.extend(checker.check_tree(modules))
+                if isinstance(checker, BatchTwinParityChecker):
+                    parity_pairs = list(checker.pairs)
+            else:  # pragma: no cover - registry enforces the two bases
+                raise TypeError(f"unknown checker type {type(checker)!r}")
+    with telemetry.stage("filter"):
+        per_file = {
+            path: suppressions_for_source(module.source)
+            for path, module in modules.items()
+        }
+        raw.sort(key=lambda f: (f.path, f.line, f.rule))
+        active, suppressed = split_suppressed(raw, per_file)
+        if baseline is not None:
+            new, baselined = baseline.split_new(active)
+        else:
+            new, baselined = list(active), []
+    telemetry.count("files", len(modules))
+    telemetry.count("findings", len(active))
+    rule_ids = (
+        sorted({c.rule.id for c in checkers})
+        if rules is not None
+        else [rule.id for rule in all_rules()]
+    )
+    return LintReport(
+        root=root,
+        rules=rule_ids,
+        findings=active,
+        new_findings=new,
+        baselined=baselined,
+        suppressed=suppressed,
+        parity_pairs=parity_pairs,
+        checked_files=len(modules),
+        telemetry=telemetry,
+    )

@@ -1,0 +1,70 @@
+"""Per-line suppression comments for ``reprolint``.
+
+A finding is suppressed by a trailing comment on the *same physical
+line* the finding is anchored to::
+
+    clock = time.perf_counter  # reprolint: disable=RL102
+
+Several rules can be listed (``disable=RL101,RL104``); a bare
+``disable`` with no rule list suppresses every rule on that line.
+Suppressions are deliberately per-line — a file- or block-scoped
+escape hatch would make it too easy to turn an invariant off wholesale.
+The committed baseline (:mod:`repro.analysis.baseline`) is the
+mechanism for grandfathering pre-existing findings instead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .base import Finding
+
+__all__ = ["suppressions_for_source", "split_suppressed"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*disable(?:=(?P<rules>[A-Za-z0-9_,\s]+))?"
+)
+
+#: ``None`` means "every rule is suppressed on this line".
+LineSuppressions = Dict[int, Optional[Set[str]]]
+
+
+def suppressions_for_source(source: str) -> LineSuppressions:
+    """Map 1-indexed line numbers to the rule IDs suppressed there."""
+    suppressed: LineSuppressions = {}
+    for index, line in enumerate(source.splitlines(), start=1):
+        if "reprolint" not in line:
+            continue
+        match = _DIRECTIVE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressed[index] = None
+        else:
+            ids = {part.strip().upper() for part in rules.split(",")}
+            suppressed[index] = {rule for rule in ids if rule}
+    return suppressed
+
+
+def _is_suppressed(finding: Finding, lines: LineSuppressions) -> bool:
+    if finding.line not in lines:
+        return False
+    rules = lines[finding.line]
+    return rules is None or finding.rule in rules
+
+
+def split_suppressed(
+    findings: Iterable[Finding],
+    per_file: Dict[str, LineSuppressions],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (active, suppressed) by inline comments."""
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        lines = per_file.get(finding.path, {})
+        (suppressed if _is_suppressed(finding, lines) else active).append(
+            finding
+        )
+    return active, suppressed

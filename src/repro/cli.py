@@ -7,10 +7,12 @@ experiment  Regenerate one of the paper's tables/figures.
 mission     Run the end-to-end SAR mission policy comparison.
 validate    Re-check the channel calibration against the paper's fits.
 bench       Time the replica-batched campaign engine vs the scalar one.
+lint        Run the reprolint domain-invariant checkers (RL101-RL105).
 
-``solve``, ``experiment`` and ``bench`` accept ``--json`` for
-machine-readable output (``bench --json`` includes per-stage timings
-and memo-hit telemetry; see docs/PERFORMANCE.md).
+``solve``, ``experiment``, ``bench`` and ``lint`` accept ``--json``
+for machine-readable output (``bench --json`` includes per-stage
+timings and memo-hit telemetry; see docs/PERFORMANCE.md and
+docs/STATIC_ANALYSIS.md).
 
 The CLI talks to the library exclusively through the stable
 :mod:`repro.api` façade — no ``repro.core`` internals.
@@ -121,6 +123,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit one JSON report with timings and telemetry",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the reprolint domain-invariant checkers (RL101-RL105)",
+    )
+    lint.add_argument(
+        "--path", default=None, metavar="DIR",
+        help="root of the tree to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--rule", action="append", dest="rules", metavar="RLxxx",
+        help="run only the given rule(s); repeatable",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of accepted findings "
+             "(default: auto-discover .reprolint-baseline.json)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to accept all current findings",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON report with findings and lint telemetry",
     )
     return parser
 
@@ -376,6 +409,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        BASELINE_FILENAME,
+        Baseline,
+        default_baseline_path,
+        default_root,
+        run_lint,
+    )
+
+    root = Path(args.path) if args.path else default_root()
+    baseline_path = Path(args.baseline) if args.baseline else None
+    report = run_lint(
+        root=root,
+        rules=args.rules,
+        baseline_path=baseline_path,
+        use_baseline=not args.no_baseline,
+    )
+    if args.update_baseline:
+        target = baseline_path or default_baseline_path(root)
+        if target is None:
+            target = Path.cwd() / BASELINE_FILENAME
+        Baseline.from_findings(report.findings).save(target)
+        print(
+            f"baseline updated: {len(report.findings)} finding(s) "
+            f"accepted in {target}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.json:
+        print(report.to_json())
+    else:
+        for line in report.summary_lines():
+            print(line)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -385,5 +456,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mission": _cmd_mission,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -74,7 +74,7 @@ class NonStationaryFailure:
     def survival_probability(self, travelled_m: float) -> float:
         """Numerically integrated survival probability."""
         d = _check_distance(travelled_m)
-        if d == 0.0:
+        if d <= 0.0:
             return 1.0
         hazard, _ = integrate.quad(self._rate_fn, 0.0, d, limit=200)
         if hazard < 0:

@@ -137,6 +137,10 @@ class BatchCampaignResult:
     wall_s: float
     n_replicas: int
 
+    def add_sample(self, key: float, throughput_bps: float) -> None:
+        """Record one per-interval throughput reading under ``key``."""
+        self.samples.setdefault(key, []).append(float(throughput_bps))
+
     def keys(self) -> List[float]:
         """Sorted distances with at least one reading."""
         return sorted(self.samples)

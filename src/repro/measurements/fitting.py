@@ -49,8 +49,12 @@ def r_squared(observed: Sequence[float], predicted: Sequence[float]) -> float:
         raise ValueError("observed and predicted must be equal-length, non-empty")
     ss_res = float(np.sum((obs - pred) ** 2))
     ss_tot = float(np.sum((obs - obs.mean()) ** 2))
-    if ss_tot == 0.0:
-        return 1.0 if ss_res == 0.0 else 0.0
+    # Degenerate fit: all observations (numerically) equal.  The sums of
+    # squares carry accumulated rounding error, so compare against a
+    # tolerance scaled to the data's magnitude rather than exactly 0.0.
+    tol = 1e-12 * max(1.0, float(np.max(np.abs(obs))) ** 2)
+    if ss_tot <= tol:
+        return 1.0 if ss_res <= tol else 0.0
     return 1.0 - ss_res / ss_tot
 
 

@@ -161,7 +161,9 @@ class BatchWirelessLink:
                 now_s, distance_m, relative_speed_mps, dt, backlog_bytes
             )
         tel = self.telemetry
-        clock = time.perf_counter
+        # Wall-clock read is perf instrumentation only (charged to
+        # PerfTelemetry stages); simulation behaviour never depends on it.
+        clock = time.perf_counter  # reprolint: disable=RL102
         backlog = self._as_backlog(backlog_bytes)
 
         t0 = clock() if tel is not None else 0.0

@@ -81,6 +81,26 @@ class PerfTelemetry:
             "total_stage_seconds": sum(self.stage_seconds.values()),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PerfTelemetry":
+        """Inverse of :meth:`as_dict`: rebuild telemetry from a report.
+
+        Lets consumers reload the JSON artifacts emitted by ``repro
+        bench --json`` / ``repro lint --json`` and :meth:`merge` them
+        across runs.
+        """
+        telemetry = cls()
+        stages = payload.get("stages", {})
+        if isinstance(stages, dict):
+            for name, entry in stages.items():
+                telemetry.stage_seconds[name] = float(entry["seconds"])
+                telemetry.stage_calls[name] = int(entry.get("calls", 0))
+        counters = payload.get("counters", {})
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                telemetry.counters[name] = int(value)
+        return telemetry
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         total = sum(self.stage_seconds.values())
         return (

@@ -321,6 +321,11 @@ class BatchArfController:
         """Per-replica chain positions (copy)."""
         return self._position.copy()
 
+    @property
+    def current_mcs(self) -> np.ndarray:
+        """Per-replica MCS at the current chain positions."""
+        return self._chain[self._position]
+
     def select(
         self, now_s: float, snr_hint_db: Optional[np.ndarray] = None
     ) -> np.ndarray:
@@ -397,7 +402,10 @@ class BatchBestMcsOracle:
         """The MCS indices the oracle considers."""
         return self._candidates.tolist()
 
-    def expected_goodput_bps(self, snr_db: np.ndarray) -> np.ndarray:
+    # The scalar oracle scores one (snr, mcs) pair at a time; the batch
+    # oracle evaluates the whole candidates x replicas matrix in one
+    # call, so the per-candidate mcs_index parameter has no analogue.
+    def expected_goodput_bps(self, snr_db: np.ndarray) -> np.ndarray:  # reprolint: disable=RL105
         """Candidates x replicas matrix of rate x success probability."""
         snr = np.asarray(snr_db, dtype=float)
         success = self._error_model.success_probability_array(
@@ -484,6 +492,10 @@ class MinstrelController:
 
     No SNR hints are used — exactly why it struggles when the channel
     decorrelates faster than the update interval.
+
+    The lookaround sampler requires an injected ``rng`` drawn from a
+    named :class:`~repro.sim.random.RandomStreams` stream; there is no
+    default generator (seeded-stream discipline, lint rule RL101).
     """
 
     def __init__(
@@ -511,7 +523,13 @@ class MinstrelController:
         self._update_interval = update_interval_s
         self._ewma_level = ewma_level
         self._lookaround = lookaround_rate
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            raise ValueError(
+                "MinstrelController requires an injected Generator; draw "
+                "one from a named RandomStreams stream, e.g. "
+                "streams.get('minstrel')"
+            )
+        self._rng = rng
         self._subframe_bytes = subframe_bytes
         self._stats: Dict[int, _McsStats] = {i: _McsStats() for i in self._candidates}
         self._last_update = 0.0

@@ -1,0 +1,367 @@
+"""Good/bad fixture snippets for every module-level reprolint rule."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_sources
+from repro.analysis.checkers import unit_suffix
+
+
+def findings_for(source, path="sim/module.py", rules=None):
+    report = lint_sources(
+        {path: textwrap.dedent(source)}, rules=rules
+    )
+    return report.new_findings
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestRL101RngDiscipline:
+    def test_default_rng_flagged(self):
+        findings = findings_for(
+            """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng(0)
+            """,
+            path="phy/controller.py",
+            rules=["RL101"],
+        )
+        assert rule_ids(findings) == ["RL101"]
+        assert "default_rng" in findings[0].message
+
+    def test_module_level_sampler_flagged(self):
+        findings = findings_for(
+            """
+            import numpy as np
+
+            x = np.random.normal(0.0, 1.0)
+            """,
+            rules=["RL101"],
+        )
+        assert rule_ids(findings) == ["RL101"]
+
+    def test_aliased_import_resolved(self):
+        findings = findings_for(
+            """
+            from numpy import random as npr
+
+            x = npr.uniform()
+            """,
+            rules=["RL101"],
+        )
+        assert rule_ids(findings) == ["RL101"]
+
+    def test_stdlib_random_flagged(self):
+        findings = findings_for(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            rules=["RL101"],
+        )
+        # Both the import and the call site are flagged.
+        assert rule_ids(findings) == ["RL101", "RL101"]
+        assert [f.line for f in findings] == [2, 5]
+
+    def test_from_random_import_flagged(self):
+        findings = findings_for(
+            """
+            from random import gauss
+            """,
+            rules=["RL101"],
+        )
+        assert rule_ids(findings) == ["RL101"]
+
+    def test_injected_generator_annotation_ok(self):
+        findings = findings_for(
+            """
+            import numpy as np
+
+            def sample(rng: np.random.Generator) -> float:
+                return float(rng.normal())
+            """,
+            rules=["RL101"],
+        )
+        assert findings == []
+
+    def test_registry_file_allowlisted(self):
+        findings = findings_for(
+            """
+            import numpy as np
+
+            seq = np.random.SeedSequence(entropy=0)
+            gen = np.random.Generator(np.random.PCG64(seq))
+            legacy = np.random.default_rng(0)
+            """,
+            path="sim/random.py",
+            rules=["RL101"],
+        )
+        assert findings == []
+
+
+class TestRL102SimTimePurity:
+    @pytest.mark.parametrize(
+        "expr", ["time.time()", "time.monotonic()", "time.perf_counter"]
+    )
+    def test_wall_clock_flagged_in_sim_packages(self, expr):
+        findings = findings_for(
+            f"""
+            import time
+
+            def now():
+                return {expr}
+            """,
+            path="sim/kernel_helper.py",
+            rules=["RL102"],
+        )
+        assert rule_ids(findings) == ["RL102"]
+
+    def test_datetime_now_flagged(self):
+        findings = findings_for(
+            """
+            from datetime import datetime
+
+            stamp = datetime.now()
+            """,
+            path="net/stamping.py",
+            rules=["RL102"],
+        )
+        assert rule_ids(findings) == ["RL102"]
+
+    def test_from_time_import_usage_flagged(self):
+        findings = findings_for(
+            """
+            from time import perf_counter
+
+            t = perf_counter()
+            """,
+            path="mac/timing.py",
+            rules=["RL102"],
+        )
+        assert rule_ids(findings) == ["RL102"]
+
+    def test_outside_sim_packages_ok(self):
+        findings = findings_for(
+            """
+            import time
+
+            t = time.perf_counter()
+            """,
+            path="measurements/profiler.py",
+            rules=["RL102"],
+        )
+        assert findings == []
+
+    def test_perf_module_allowlisted(self):
+        findings = findings_for(
+            """
+            import time
+
+            t = time.perf_counter()
+            """,
+            path="perf.py",
+            rules=["RL102"],
+        )
+        assert findings == []
+
+    def test_simulated_now_ok(self):
+        findings = findings_for(
+            """
+            def step(now_s: float) -> float:
+                return now_s + 0.02
+            """,
+            path="sim/stepper.py",
+            rules=["RL102"],
+        )
+        assert findings == []
+
+
+class TestRL103UnitSuffixes:
+    def test_db_plus_linear_flagged(self):
+        findings = findings_for(
+            """
+            def broken(snr_db, rate_mbps):
+                return snr_db + rate_mbps
+            """,
+            rules=["RL103"],
+        )
+        assert rule_ids(findings) == ["RL103"]
+        assert "dB-domain" in findings[0].message
+
+    def test_db_times_linear_flagged(self):
+        findings = findings_for(
+            """
+            def broken(gain_db, distance_m):
+                return gain_db * distance_m
+            """,
+            rules=["RL103"],
+        )
+        assert rule_ids(findings) == ["RL103"]
+
+    def test_conversion_call_exempts(self):
+        findings = findings_for(
+            """
+            def ok(power_dbm, noise_mw):
+                return db_to_linear(power_dbm) + noise_mw
+            """,
+            rules=["RL103"],
+        )
+        assert findings == []
+
+    def test_db_family_additive_ok(self):
+        findings = findings_for(
+            """
+            def eirp(tx_power_dbm, antenna_gain_dbi, cable_loss_db):
+                return tx_power_dbm + antenna_gain_dbi - cable_loss_db
+            """,
+            rules=["RL103"],
+        )
+        assert findings == []
+
+    def test_mismatched_linear_addition_flagged(self):
+        findings = findings_for(
+            """
+            def broken(distance_m, duration_s):
+                return distance_m + duration_s
+            """,
+            rules=["RL103"],
+        )
+        assert rule_ids(findings) == ["RL103"]
+
+    def test_scale_mismatch_flagged(self):
+        findings = findings_for(
+            """
+            def broken(timeout_ms, delay_s):
+                return timeout_ms - delay_s
+            """,
+            rules=["RL103"],
+        )
+        assert rule_ids(findings) == ["RL103"]
+
+    def test_division_across_dimensions_ok(self):
+        findings = findings_for(
+            """
+            def speed(distance_m, duration_s):
+                return distance_m / duration_s
+            """,
+            rules=["RL103"],
+        )
+        assert findings == []
+
+    def test_unsuffixed_config_default_flagged(self):
+        findings = findings_for(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class RadioConfig:
+                tx_power: float = 18.0
+            """,
+            rules=["RL103"],
+        )
+        assert rule_ids(findings) == ["RL103"]
+        assert "unit suffix" in findings[0].message
+
+    def test_suffixed_and_dimensionless_config_ok(self):
+        findings = findings_for(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class RadioConfig:
+                tx_power_dbm: float = 18.0
+                dropout_probability: float = 0.05
+                sdm_efficiency: float = 0.8
+            """,
+            rules=["RL103"],
+        )
+        assert findings == []
+
+    def test_per_names_are_dimensionless(self):
+        # slope_db_per_mps is dB per (m/s): neither pure dB nor pure speed.
+        assert unit_suffix("slope_db_per_mps") is None
+        assert unit_suffix("snr_db") == "_db"
+        assert unit_suffix("distance_m") == "_m"
+        assert unit_suffix("timeout_ms") == "_ms"
+        assert unit_suffix("rate_mbps") == "_mbps"
+        assert unit_suffix("plain_name") is None
+
+
+class TestRL104FloatEquality:
+    def test_float_literal_equality_flagged(self):
+        findings = findings_for(
+            """
+            def degenerate(ss_tot):
+                return ss_tot == 0.0
+            """,
+            rules=["RL104"],
+        )
+        assert rule_ids(findings) == ["RL104"]
+
+    def test_not_equal_flagged(self):
+        findings = findings_for(
+            """
+            def check(x):
+                return x != 1.5
+            """,
+            rules=["RL104"],
+        )
+        assert rule_ids(findings) == ["RL104"]
+
+    def test_chained_comparison_flagged_once(self):
+        findings = findings_for(
+            """
+            def check(x, y):
+                return x == y == 0.0
+            """,
+            rules=["RL104"],
+        )
+        assert rule_ids(findings) == ["RL104"]
+
+    def test_int_and_inequality_ok(self):
+        findings = findings_for(
+            """
+            def check(n, x):
+                return n == 0 and x <= 0.0 and x >= -1.0
+            """,
+            rules=["RL104"],
+        )
+        assert findings == []
+
+    def test_infinity_comparison_ok(self):
+        # float("inf") equality is exact under IEEE-754; the literal
+        # heuristic deliberately leaves Call expressions alone.
+        findings = findings_for(
+            """
+            def check(scale):
+                return scale != float("inf")
+            """,
+            rules=["RL104"],
+        )
+        assert findings == []
+
+
+class TestRuleSelection:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_sources({"m.py": "x = 1\n"}, rules=["RL999"])
+
+    def test_rule_filter_restricts(self):
+        source = """
+        import numpy as np
+
+        def bad(ss):
+            rng = np.random.default_rng(0)
+            return ss == 0.0
+        """
+        all_findings = findings_for(source)
+        only_104 = findings_for(source, rules=["RL104"])
+        assert {"RL101", "RL104"} <= set(rule_ids(all_findings))
+        assert rule_ids(only_104) == ["RL104"]

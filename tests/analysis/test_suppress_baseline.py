@@ -1,0 +1,145 @@
+"""Suppression directives and baseline round-trip semantics."""
+
+import textwrap
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    lint_sources,
+    suppressions_for_source,
+)
+
+BAD_RNG = textwrap.dedent(
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    """
+)
+
+
+class TestSuppressionDirectives:
+    def test_targeted_disable(self):
+        source = BAD_RNG.replace(
+            "default_rng(0)", "default_rng(0)  # reprolint: disable=RL101"
+        )
+        report = lint_sources({"phy/m.py": source})
+        assert report.new_findings == []
+        assert [f.rule for f in report.suppressed] == ["RL101"]
+
+    def test_bare_disable_silences_all_rules(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.normal() == 0.0  # reprolint: disable\n"
+        )
+        report = lint_sources({"phy/m.py": source})
+        assert report.new_findings == []
+        assert sorted(f.rule for f in report.suppressed) == ["RL101", "RL104"]
+
+    def test_wrong_rule_does_not_silence(self):
+        source = BAD_RNG.replace(
+            "default_rng(0)", "default_rng(0)  # reprolint: disable=RL104"
+        )
+        report = lint_sources({"phy/m.py": source})
+        assert [f.rule for f in report.new_findings] == ["RL101"]
+        assert report.suppressed == []
+
+    def test_directive_only_covers_its_line(self):
+        source = (
+            "import numpy as np\n"
+            "a = np.random.normal()  # reprolint: disable=RL101\n"
+            "b = np.random.normal()\n"
+        )
+        report = lint_sources({"phy/m.py": source})
+        assert [f.line for f in report.new_findings] == [3]
+        assert [f.line for f in report.suppressed] == [2]
+
+    def test_multi_rule_directive_parsed(self):
+        mapping = suppressions_for_source(
+            "x = 1  # reprolint: disable=RL101, RL104\n"
+        )
+        assert mapping == {1: {"RL101", "RL104"}}
+
+    def test_bare_directive_parsed_as_all(self):
+        mapping = suppressions_for_source("x = 1  # reprolint: disable\n")
+        assert mapping == {1: None}
+
+    def test_unrelated_comments_ignored(self):
+        assert suppressions_for_source("x = 1  # just a note\n") == {}
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        report = lint_sources({"phy/m.py": BAD_RNG})
+        assert len(report.new_findings) == 1
+
+        path = tmp_path / ".reprolint-baseline.json"
+        Baseline.from_findings(report.findings).save(path)
+        loaded = Baseline.load(path)
+
+        rerun = lint_sources({"phy/m.py": BAD_RNG}, baseline=loaded)
+        assert rerun.ok
+        assert rerun.new_findings == []
+        assert [f.rule for f in rerun.baselined] == ["RL101"]
+
+    def test_baseline_survives_line_drift(self, tmp_path):
+        report = lint_sources({"phy/m.py": BAD_RNG})
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(report.findings).save(path)
+
+        shifted = "# a new leading comment\n\n" + BAD_RNG
+        rerun = lint_sources(
+            {"phy/m.py": shifted}, baseline=Baseline.load(path)
+        )
+        assert rerun.ok, [f.message for f in rerun.new_findings]
+
+    def test_multiplicity_not_over_absorbed(self, tmp_path):
+        one = lint_sources({"phy/m.py": BAD_RNG})
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(one.findings).save(path)
+
+        doubled = BAD_RNG + "rng2 = np.random.default_rng(0)\n"
+        rerun = lint_sources(
+            {"phy/m.py": doubled}, baseline=Baseline.load(path)
+        )
+        # Two identical-snippet findings, one baselined entry: exactly
+        # one is absorbed, the second is new.
+        assert len(rerun.baselined) == 1
+        assert len(rerun.new_findings) == 1
+
+    def test_empty_baseline_absorbs_nothing(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([]).save(path)
+        report = lint_sources(
+            {"phy/m.py": BAD_RNG}, baseline=Baseline.load(path)
+        )
+        assert not report.ok
+        assert len(report.new_findings) == 1
+
+    def test_save_is_deterministic(self, tmp_path):
+        findings = [
+            Finding(
+                rule="RL104",
+                path="b.py",
+                line=9,
+                message="m",
+                snippet="y != 1.5",
+            ),
+            Finding(
+                rule="RL101",
+                path="a.py",
+                line=3,
+                message="m",
+                snippet="np.random.default_rng(0)",
+            ),
+        ]
+        p1 = tmp_path / "one.json"
+        p2 = tmp_path / "two.json"
+        Baseline.from_findings(findings).save(p1)
+        Baseline.from_findings(list(reversed(findings))).save(p2)
+        assert p1.read_text() == p2.read_text()
+
+    def test_fingerprint_ignores_line_number(self):
+        a = Finding(rule="RL104", path="m.py", line=5, message="x", snippet="s")
+        b = Finding(rule="RL104", path="m.py", line=50, message="y", snippet="s")
+        assert a.fingerprint == b.fingerprint

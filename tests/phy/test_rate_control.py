@@ -124,17 +124,24 @@ class TestMinstrel:
         assert len(picks) > 1
 
     def test_invalid_params_rejected(self):
+        rng = np.random.default_rng(3)
         with pytest.raises(ValueError):
-            MinstrelController(ewma_level=1.5)
+            MinstrelController(rng=rng, ewma_level=1.5)
         with pytest.raises(ValueError):
-            MinstrelController(lookaround_rate=1.0)
+            MinstrelController(rng=rng, lookaround_rate=1.0)
         with pytest.raises(ValueError):
-            MinstrelController(update_interval_s=0.0)
+            MinstrelController(rng=rng, update_interval_s=0.0)
+
+    def test_rng_injection_required(self):
+        """RL101: no silent default generator — rng must be injected."""
+        with pytest.raises(ValueError, match="injected Generator"):
+            MinstrelController()
 
     def test_feedback_for_unknown_mcs_ignored(self):
-        ctrl = MinstrelController(candidates=[0, 1])
+        ctrl = MinstrelController(rng=np.random.default_rng(4), candidates=[0, 1])
         ctrl.feedback(0.0, 15, 10, 5)  # not in candidate set
 
     def test_invalid_feedback_rejected(self):
+        ctrl = MinstrelController(rng=np.random.default_rng(5))
         with pytest.raises(ValueError):
-            MinstrelController().feedback(0.0, 0, 5, 6)
+            ctrl.feedback(0.0, 0, 5, 6)
