@@ -16,6 +16,8 @@ The package is organised bottom-up:
   contribution): Cdelay, utility, optimiser, strategies, scenarios.
 * :mod:`repro.engine` — fleet-scale batch solver: vectorised Eq. 2,
   memoisation, chunked fan-out.
+* :mod:`repro.faults` — deterministic fault injection: plans, outage
+  schedules, the kernel injector, the ``repro chaos`` runner.
 * :mod:`repro.api` — the stable public façade (start here).
 * :mod:`repro.experiments` — regenerators for every table and figure.
 
@@ -35,9 +37,12 @@ Fleet-scale::
 from .api import (
     BatchResult,
     BatchSolverEngine,
+    FaultPlan,
+    FaultSpec,
     OptimalDecision,
     Scenario,
     airplane_scenario,
+    chaos,
     default_engine,
     quadrocopter_scenario,
     scenario,
@@ -67,9 +72,12 @@ __all__ = [
     # Stable façade (repro.api)
     "BatchResult",
     "BatchSolverEngine",
+    "FaultPlan",
+    "FaultSpec",
     "OptimalDecision",
     "Scenario",
     "airplane_scenario",
+    "chaos",
     "default_engine",
     "quadrocopter_scenario",
     "scenario",

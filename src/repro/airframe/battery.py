@@ -64,6 +64,20 @@ class Battery:
         overshoot = (speed_mps - cruise) / cruise
         return 1.0 + self.SPEED_PENALTY * overshoot * overshoot
 
+    def brownout(self, drop_fraction: float) -> float:
+        """Instantly lose a fraction of the *remaining* charge.
+
+        Models cell sag or a damaged pack (the ``battery_brownout``
+        fault kind).  Returns the charge-seconds lost.  Unlike
+        :meth:`consume`, a brownout never raises — a drop_fraction of
+        1.0 leaves the battery exactly empty for the caller to notice.
+        """
+        if not 0.0 < drop_fraction <= 1.0:
+            raise ValueError("drop_fraction must be a fraction in (0, 1]")
+        lost = self._remaining_s * drop_fraction
+        self._remaining_s -= lost
+        return lost
+
     def consume(self, duration_s: float, speed_mps: float = 0.0, hovering: bool = False) -> None:
         """Drain the battery for ``duration_s`` seconds of flight.
 

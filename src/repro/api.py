@@ -14,6 +14,8 @@ between releases.  The surface is deliberately small:
   :class:`BatchResult`.
 * :func:`sweep` — one scenario, one parameter, many values.
 * :func:`utility_curve` — the sampled ``U(d)`` curve (Fig. 8 plots).
+* :class:`FaultPlan` / :class:`FaultSpec` / :func:`chaos` — deterministic
+  fault injection (see :mod:`repro.faults` and ``docs/ROBUSTNESS.md``).
 
 All solving goes through the shared :class:`BatchSolverEngine`, so
 repeated instances are memoised process-wide.
@@ -28,14 +30,18 @@ import numpy as np
 from .core.optimizer import DistanceOptimizer, OptimalDecision
 from .core.scenario import Scenario, airplane_scenario, quadrocopter_scenario
 from .engine import BatchResult, BatchSolverEngine, default_engine
+from .faults.plan import FaultPlan, FaultSpec
 
 __all__ = [
     "BatchResult",
     "BatchSolverEngine",
+    "FaultPlan",
+    "FaultSpec",
     "OptimalDecision",
     "Scenario",
     "airplane_scenario",
     "quadrocopter_scenario",
+    "chaos",
     "default_engine",
     "scenario",
     "solve",
@@ -99,6 +105,26 @@ def sweep(
     ``Scenario`` field.
     """
     return (engine or default_engine()).sweep(scenario, param, values)
+
+
+def chaos(
+    plan: FaultPlan,
+    scenario_name: str = "quadrocopter",
+    seed: int = 1,
+    **kwargs,
+):
+    """Run one solved mission under a fault plan (see ``repro chaos``).
+
+    Thin façade over :func:`repro.faults.chaos.run_chaos` (imported
+    lazily — the chaos runner pulls in the mission layer, which itself
+    imports this module).  Returns a
+    :class:`~repro.faults.chaos.ChaosResult`; identical inputs yield
+    identical results, and an empty plan reproduces the plain transfer
+    pipeline bit for bit.
+    """
+    from .faults.chaos import run_chaos
+
+    return run_chaos(plan, scenario_name=scenario_name, seed=seed, **kwargs)
 
 
 def utility_curve(

@@ -7,12 +7,14 @@ experiment  Regenerate one of the paper's tables/figures.
 mission     Run the end-to-end SAR mission policy comparison.
 validate    Re-check the channel calibration against the paper's fits.
 bench       Time the replica-batched campaign engine vs the scalar one.
+chaos       Run a solved mission under a deterministic fault plan.
 lint        Run the reprolint domain-invariant checkers (RL101-RL105).
 
-``solve``, ``experiment``, ``bench`` and ``lint`` accept ``--json``
-for machine-readable output (``bench --json`` includes per-stage
-timings and memo-hit telemetry; see docs/PERFORMANCE.md and
-docs/STATIC_ANALYSIS.md).
+``solve``, ``experiment``, ``bench``, ``chaos`` and ``lint`` accept
+``--json`` for machine-readable output (``bench --json`` includes
+per-stage timings and memo-hit telemetry; ``chaos --json`` is
+replay-deterministic — identical inputs print identical bytes; see
+docs/PERFORMANCE.md, docs/ROBUSTNESS.md and docs/STATIC_ANALYSIS.md).
 
 The CLI talks to the library exclusively through the stable
 :mod:`repro.api` façade — no ``repro.core`` internals.
@@ -123,6 +125,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit one JSON report with timings and telemetry",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a solved mission under a deterministic fault plan",
+    )
+    chaos.add_argument(
+        "scenario", nargs="?", default="quadrocopter",
+        choices=("airplane", "quadrocopter"),
+        help="baseline scenario (default: quadrocopter)",
+    )
+    chaos.add_argument(
+        "--plan", metavar="FILE", default=None,
+        help="FaultPlan JSON document (schema: docs/ROBUSTNESS.md)",
+    )
+    chaos.add_argument(
+        "--outage", action="append", metavar="START:DURATION", default=None,
+        help="inject one link-outage window (seconds); repeatable",
+    )
+    chaos.add_argument(
+        "--node-loss", type=float, default=None, metavar="T",
+        help="lose the carrier node at T seconds (checkpoint + re-solve)",
+    )
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="mission deadline in seconds (default: none)",
+    )
+    chaos.add_argument(
+        "--controller", default="arf",
+        help="controller spec: arf, oracle or fixed:<mcs> (default: arf)",
+    )
+    chaos.add_argument(
+        "--idle-timeout", type=float, default=2.0, metavar="S",
+        help="checkpoint after S seconds without progress (default: 2)",
+    )
+    chaos.add_argument(
+        "--max-resumes", type=int, default=8,
+        help="resume budget before giving up (default: 8)",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the deterministic chaos report as one JSON object",
     )
 
     lint = sub.add_parser(
@@ -409,6 +455,69 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_plan(args: argparse.Namespace) -> "Any":
+    """Assemble the fault plan from ``--plan`` / inline fault flags."""
+    from .api import FaultPlan, FaultSpec
+
+    if args.plan is not None:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    else:
+        plan = FaultPlan(name="cli", seed=args.seed)
+    for window in args.outage or ():
+        try:
+            start_s, duration_s = (float(part) for part in window.split(":"))
+        except ValueError:
+            raise SystemExit(
+                f"bad --outage {window!r}: expected START:DURATION seconds"
+            ) from None
+        plan = plan.with_outage(start_s, duration_s)
+    if args.node_loss is not None:
+        plan = plan.add(FaultSpec("node_loss", args.node_loss))
+    return plan
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .api import chaos
+
+    plan = _chaos_plan(args)
+    result = chaos(
+        plan,
+        scenario_name=args.scenario,
+        seed=args.seed,
+        deadline_s=args.deadline,
+        controller=args.controller,
+        idle_timeout_s=args.idle_timeout,
+        max_resumes=args.max_resumes,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), sort_keys=True))
+        return 0 if result.completed else 1
+    print(f"scenario          : {result.scenario}")
+    print(f"fault plan        : {result.plan_name} "
+          f"({len(plan)} fault(s), seed {result.seed})")
+    print(f"optimal distance  : {result.dopt_m:.1f} m")
+    print("-" * 40)
+    print(f"completed         : {'yes' if result.completed else 'NO'}")
+    print(f"finish time       : {result.finish_s:.2f} s"
+          + (f" (deadline {result.deadline_s:g} s)"
+             if result.deadline_s is not None else ""))
+    print(f"delivered         : {result.delivered_bytes} / "
+          f"{result.total_bytes} bytes "
+          f"({100 * result.delivered_fraction:.1f}%)")
+    print(f"blackout retries  : {result.blackout_retries} "
+          f"({result.blackout_wait_s:.2f} s waited)")
+    print(f"checkpoints       : {len(result.checkpoints)} "
+          f"({result.resumes} resume(s))")
+    for replan in result.replans:
+        print(f"replan            : dopt {replan['dopt_m']:.1f} m with "
+              f"{replan['remaining_data_bits'] / 8e6:.1f} MB left at "
+              f"t={replan['elapsed_s']:.1f} s")
+    for time_s, kind in result.faults_fired:
+        print(f"fault @ {time_s:7.2f} s : {kind}")
+    return 0 if result.completed else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -456,6 +565,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mission": _cmd_mission,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
+        "chaos": _cmd_chaos,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -30,6 +30,8 @@ __all__ = [
     "MoveAndTransmit",
     "MixedStrategy",
     "transmit_now",
+    "DegradedPlan",
+    "replan_after_interruption",
 ]
 
 
@@ -253,6 +255,92 @@ class MixedStrategy:
             distances,
             data_bits,
         )
+
+
+@dataclass(frozen=True)
+class DegradedPlan:
+    """A re-solved transmit decision after a mid-mission interruption.
+
+    Produced by :func:`replan_after_interruption`: the Eq.-2 optimiser
+    run again with the *remaining* data and the *current* geometry, so
+    a transfer interrupted by an injected fault (see
+    :mod:`repro.faults`) resumes with a decision that is optimal for
+    what is actually left to do.
+    """
+
+    decision: "OptimalDecision"
+    remaining_data_bits: float
+    distance_now_m: float
+    elapsed_s: float
+    #: Deadline budget left (``None`` when the mission has no deadline).
+    deadline_remaining_s: Optional[float]
+
+    @property
+    def dopt_m(self) -> float:
+        """The re-solved transmit distance."""
+        return self.decision.distance_m
+
+    @property
+    def meets_deadline(self) -> bool:
+        """Whether the re-solved plan fits the remaining budget."""
+        if self.deadline_remaining_s is None:
+            return True
+        return self.decision.cdelay_s <= self.deadline_remaining_s
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (CLI / chaos reports)."""
+        return {
+            "dopt_m": self.dopt_m,
+            "cdelay_s": self.decision.cdelay_s,
+            "remaining_data_bits": self.remaining_data_bits,
+            "distance_now_m": self.distance_now_m,
+            "elapsed_s": self.elapsed_s,
+            "deadline_remaining_s": self.deadline_remaining_s,
+            "meets_deadline": self.meets_deadline,
+        }
+
+
+def replan_after_interruption(
+    scenario,
+    remaining_data_bits: float,
+    distance_now_m: float,
+    elapsed_s: float = 0.0,
+    deadline_s: Optional[float] = None,
+) -> DegradedPlan:
+    """Degraded-mode fallback: re-solve ``dopt`` for what is left.
+
+    After an interruption (link blackout outlasting the retry budget,
+    node loss of a relay, battery brownout forcing an early turn-back)
+    the original decision is stale: part of ``Mdata`` is already
+    delivered and the UAV has moved.  This re-runs the paper's Eq. 2 on
+    a copy of ``scenario`` whose contact distance is the UAV's current
+    separation (clamped into ``[min_distance_m, d0]`` — moving away
+    never helps) and whose payload is the remaining bytes.  The
+    optimiser guarantees the returned ``dopt`` lies in
+    ``[min_distance_m, d0_remaining]``.
+    """
+    if remaining_data_bits <= 0:
+        raise ValueError("remaining_data_bits must be positive")
+    if elapsed_s < 0:
+        raise ValueError("elapsed_s must be non-negative")
+    d0_remaining = min(
+        max(float(distance_now_m), scenario.min_distance_m),
+        scenario.contact_distance_m,
+    )
+    degraded = scenario.with_(
+        d0_m=d0_remaining, data_bits=float(remaining_data_bits)
+    )
+    decision = degraded.solve()
+    deadline_remaining = (
+        None if deadline_s is None else max(0.0, deadline_s - elapsed_s)
+    )
+    return DegradedPlan(
+        decision=decision,
+        remaining_data_bits=float(remaining_data_bits),
+        distance_now_m=float(distance_now_m),
+        elapsed_s=float(elapsed_s),
+        deadline_remaining_s=deadline_remaining,
+    )
 
 
 class MoveAndTransmit(MixedStrategy):

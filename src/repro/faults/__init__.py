@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the reproduction.
+
+The paper prices failure analytically (the Eq.-1 discount); this
+package makes the simulator *experience* it: declarative
+:class:`FaultPlan` objects, compiled :class:`OutageSchedule` twins the
+link engines consume, a kernel-driven :class:`FaultInjector`, and the
+end-to-end :func:`run_chaos` runner behind ``repro chaos``.
+
+See ``docs/ROBUSTNESS.md`` for the fault taxonomy and the determinism
+guarantees.
+"""
+
+from ..net.retry import ExponentialBackoff, RetryPolicy
+from .injector import (
+    FaultInjector,
+    sample_crash_distance_for_platform,
+    sample_crash_distance_m,
+)
+from .outage import BatchOutageSchedule, OutageSchedule
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "OutageSchedule",
+    "BatchOutageSchedule",
+    "FaultInjector",
+    "sample_crash_distance_m",
+    "sample_crash_distance_for_platform",
+    "ExponentialBackoff",
+    "RetryPolicy",
+    "ChaosResult",
+    "run_chaos",
+]
+
+#: Chaos-runner symbols resolved lazily (PEP 562): ``chaos`` pulls in
+#: ``repro.api`` and the mission layer, which themselves import this
+#: package for :class:`FaultPlan` — eager import would cycle.
+_LAZY = {"ChaosResult", "run_chaos"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

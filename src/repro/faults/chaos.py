@@ -1,0 +1,278 @@
+"""The chaos runner: one solved scenario driven through a fault plan.
+
+:func:`run_chaos` is the end-to-end exercise the fault subsystem exists
+for.  It solves the paper's Eq. 2 for a baseline scenario, then replays
+the resulting plan — ship silently to ``dopt``, then transmit — on the
+epoch-based link engine inside the discrete-event kernel, while a
+:class:`~repro.faults.injector.FaultInjector` fires the plan's faults:
+
+* link outages silence the link (the transfer backs off exponentially
+  and checkpoints when its idle timeout expires);
+* a node loss checkpoints the partially shipped batch and re-solves
+  ``dopt`` for the remaining data via
+  :func:`~repro.core.strategies.replan_after_interruption`;
+* GPS degradation and battery brownouts hit their attached models.
+
+Everything is deterministic: the same ``(seed, FaultPlan)`` pair yields
+a byte-identical :class:`ChaosResult` (no wall-clock anywhere in the
+result), and an empty plan reproduces the plain
+:class:`~repro.net.udp.UdpTransfer` pipeline bit for bit — both pinned
+by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..airframe.battery import Battery
+from ..api import scenario as make_scenario
+from ..api import solve
+from ..channel.channel import AerialChannel, airplane_profile, quadrocopter_profile
+from ..core.strategies import replan_after_interruption
+from ..mission.ferry import TransferCheckpoint
+from ..net.link import WirelessLink
+from ..net.packets import ImageBatch
+from ..net.retry import ExponentialBackoff, RetryPolicy
+from ..perf import PerfTelemetry
+from ..phy.rate_control import scalar_controller
+from ..sim.kernel import Simulator
+from ..sim.random import RandomStreams
+from .injector import FaultInjector
+from .outage import OutageSchedule
+from .plan import FaultPlan
+
+__all__ = ["ChaosResult", "run_chaos"]
+
+_PROFILES = {
+    "airplane": airplane_profile,
+    "quadrocopter": quadrocopter_profile,
+}
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Deterministic outcome of one chaos run (JSON-ready, replayable)."""
+
+    scenario: str
+    plan_name: str
+    seed: int
+    completed: bool
+    finish_s: float
+    delivered_bytes: int
+    total_bytes: int
+    dopt_m: float
+    resumes: int
+    blackout_retries: int
+    blackout_wait_s: float
+    checkpoints: Tuple[TransferCheckpoint, ...] = field(default_factory=tuple)
+    replans: Tuple[Dict[str, object], ...] = field(default_factory=tuple)
+    #: ``(time_s, kind)`` log of faults that actually fired.
+    faults_fired: Tuple[Tuple[float, str], ...] = field(default_factory=tuple)
+    #: Per-fault counters (``faults.*`` plus outage epoch counts).
+    counters: Dict[str, int] = field(default_factory=dict)
+    battery_fraction: float = 1.0
+    deadline_s: Optional[float] = None
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of ``Mdata`` that made it."""
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.delivered_bytes / self.total_bytes
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON document; identical across replays of the same inputs."""
+        return {
+            "scenario": self.scenario,
+            "plan": self.plan_name,
+            "seed": self.seed,
+            "completed": self.completed,
+            "finish_s": self.finish_s,
+            "deadline_s": self.deadline_s,
+            "delivered_bytes": self.delivered_bytes,
+            "total_bytes": self.total_bytes,
+            "delivered_fraction": self.delivered_fraction,
+            "dopt_m": self.dopt_m,
+            "resumes": self.resumes,
+            "blackout_retries": self.blackout_retries,
+            "blackout_wait_s": self.blackout_wait_s,
+            "checkpoints": [c.to_dict() for c in self.checkpoints],
+            "replans": list(self.replans),
+            "faults_fired": [
+                {"time_s": t, "kind": kind} for t, kind in self.faults_fired
+            ],
+            "counters": dict(sorted(self.counters.items())),
+            "battery_fraction": self.battery_fraction,
+        }
+
+
+def run_chaos(
+    plan: FaultPlan,
+    scenario_name: str = "quadrocopter",
+    seed: int = 1,
+    deadline_s: Optional[float] = None,
+    epoch_s: float = 0.02,
+    controller: str = "arf",
+    retry: RetryPolicy = RetryPolicy(),
+    idle_timeout_s: float = 2.0,
+    max_resumes: int = 8,
+    telemetry: Optional[PerfTelemetry] = None,
+) -> ChaosResult:
+    """Execute one solved mission under a fault plan; fully deterministic.
+
+    The mission follows the paper's optimal policy: from contact at
+    ``d0`` the UAV ships silently towards the solved ``dopt`` while the
+    transfer engine runs (delivery is negligible until close anyway,
+    which is the paper's whole point), transmitting until ``Mdata`` is
+    delivered, the deadline passes, or the resume budget is exhausted.
+    """
+    if scenario_name not in _PROFILES:
+        raise ValueError(
+            f"unknown scenario {scenario_name!r}; choose from "
+            f"{sorted(_PROFILES)}"
+        )
+    scn = make_scenario(scenario_name)
+    decision = solve(scn)
+    dopt = decision.distance_m
+    speed = scn.cruise_speed_mps
+    total_bytes = int(round(scn.data_bits / 8))
+
+    streams = RandomStreams(seed=seed)
+    tel = telemetry if telemetry is not None else PerfTelemetry()
+    sim = Simulator()
+    channel = AerialChannel(_PROFILES[scenario_name](), streams)
+    link = WirelessLink(
+        channel,
+        scalar_controller(controller),
+        streams=streams,
+        epoch_s=epoch_s,
+        outage=OutageSchedule.from_plan(plan),
+    )
+    batch = ImageBatch(batch_id=0, total_bytes=total_bytes)
+    battery = Battery(scn.platform)
+
+    injector = FaultInjector(sim, plan, streams=streams, telemetry=tel)
+    injector.attach_battery(battery)
+
+    # Mutable geometry: ship from d_start (at t_start) towards floor_m at
+    # cruise speed; a node-loss replan rebases all three.
+    geometry = {"t_start": 0.0, "d_start": scn.contact_distance_m,
+                "floor_m": dopt}
+
+    def distance_fn(t_s: float) -> float:
+        return max(
+            geometry["floor_m"],
+            geometry["d_start"] - speed * (t_s - geometry["t_start"]),
+        )
+
+    node_loss_pending: List[object] = []
+    injector.on_node_loss(node_loss_pending.append)
+    injector.arm()
+
+    checkpoints: List[TransferCheckpoint] = []
+    replans: List[Dict[str, object]] = []
+    state = {
+        "finish_s": 0.0,
+        "completed": False,
+        "resumes": 0,
+        "blackout_retries": 0,
+        "blackout_wait_s": 0.0,
+    }
+
+    def transfer_process():
+        # Local clock mirrors UdpTransfer.run exactly (same float
+        # accumulation order), so an empty plan is bit-identical to the
+        # plain pipeline.
+        now = 0.0
+        backoff = ExponentialBackoff(retry)
+        last_progress_s = now
+        while not batch.complete:
+            if deadline_s is not None and now >= deadline_s:
+                state["finish_s"] = deadline_s
+                return
+            if node_loss_pending:
+                node_loss_pending.pop(0)
+                d_now = distance_fn(now)
+                checkpoints.append(
+                    TransferCheckpoint(
+                        batch_id=batch.batch_id,
+                        total_bytes=batch.total_bytes,
+                        delivered_bytes=batch.delivered_bytes,
+                        time_s=now,
+                        reason="node_loss",
+                    )
+                )
+                if batch.remaining_bytes > 0:
+                    degraded = replan_after_interruption(
+                        scn,
+                        remaining_data_bits=batch.remaining_bytes * 8,
+                        distance_now_m=d_now,
+                        elapsed_s=now,
+                        deadline_s=deadline_s,
+                    )
+                    replans.append(degraded.to_dict())
+                    geometry["t_start"] = now
+                    geometry["d_start"] = max(d_now, scn.min_distance_m)
+                    geometry["floor_m"] = degraded.dopt_m
+                backoff.reset()
+                last_progress_s = now
+            if now - last_progress_s >= idle_timeout_s:
+                checkpoints.append(
+                    TransferCheckpoint(
+                        batch_id=batch.batch_id,
+                        total_bytes=batch.total_bytes,
+                        delivered_bytes=batch.delivered_bytes,
+                        time_s=now,
+                        reason="stalled",
+                    )
+                )
+                if state["resumes"] >= max_resumes:
+                    state["finish_s"] = now
+                    return
+                state["resumes"] += 1
+                backoff.reset()
+                last_progress_s = now
+            if link.is_blacked_out(now):
+                delay = backoff.next_delay_s()
+                state["blackout_retries"] += 1
+                state["blackout_wait_s"] += delay
+                now += delay
+                yield delay
+                continue
+            step = link.step(
+                now,
+                distance_m=distance_fn(now),
+                backlog_bytes=batch.remaining_bytes,
+            )
+            batch.deliver(step.bytes_delivered)
+            now += epoch_s
+            if step.bytes_delivered > 0:
+                last_progress_s = now
+                backoff.reset()
+            yield epoch_s
+        state["finish_s"] = now
+        state["completed"] = True
+
+    sim.spawn(transfer_process())
+    sim.run()
+
+    return ChaosResult(
+        scenario=scenario_name,
+        plan_name=plan.name,
+        seed=seed,
+        completed=state["completed"],
+        finish_s=state["finish_s"],
+        delivered_bytes=batch.delivered_bytes,
+        total_bytes=batch.total_bytes,
+        dopt_m=dopt,
+        resumes=state["resumes"],
+        blackout_retries=state["blackout_retries"],
+        blackout_wait_s=state["blackout_wait_s"],
+        checkpoints=tuple(checkpoints),
+        replans=tuple(replans),
+        faults_fired=tuple(injector.fired),
+        counters=dict(tel.counters),
+        battery_fraction=battery.fraction,
+        deadline_s=deadline_s,
+    )

@@ -1,0 +1,177 @@
+"""Link-outage schedules: scalar and replica-batched twins.
+
+An :class:`OutageSchedule` is the compiled, query-friendly form of the
+``link_outage`` entries of a :class:`~repro.faults.plan.FaultPlan`: a
+merged, time-sorted set of ``[start, end)`` blackout windows.  The link
+engines accept one through their ``outage=`` parameter and deliver
+nothing while blacked out — the channel keeps evolving (SNR is still
+sampled, the rate controller still selects) so post-outage state is
+exactly what it would have been, but no subframes are attempted and no
+delivery randomness is consumed.
+
+:class:`BatchOutageSchedule` is the RL105 twin: one schedule per
+replica, vectorised queries.  At ``n_replicas == 1`` it answers every
+query identically to the scalar schedule, preserving the bit-equality
+contract of :class:`~repro.net.batchlink.BatchWirelessLink`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .plan import FaultPlan
+
+__all__ = ["OutageSchedule", "BatchOutageSchedule"]
+
+_Window = Tuple[float, float]
+
+
+def _normalise(windows_s: Iterable[Sequence[float]]) -> Tuple[_Window, ...]:
+    """Sorted, merged, validated ``(start, end)`` windows."""
+    cleaned: List[_Window] = []
+    for window in windows_s:
+        start, end = float(window[0]), float(window[1])
+        if start < 0:
+            raise ValueError(f"outage start must be non-negative: {start}")
+        if end <= start:
+            raise ValueError(f"outage window must have end > start: {window}")
+        cleaned.append((start, end))
+    cleaned.sort()
+    merged: List[_Window] = []
+    for start, end in cleaned:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
+class OutageSchedule:
+    """Merged ``[start, end)`` blackout windows for one link."""
+
+    def __init__(self, windows_s: Iterable[Sequence[float]] = ()) -> None:
+        self._windows = _normalise(windows_s)
+
+    @classmethod
+    def from_plan(cls, plan: FaultPlan, target: str = "link") -> "OutageSchedule":
+        """Compile a plan's ``link_outage`` faults aimed at ``target``."""
+        return cls(plan.outage_windows_s(target))
+
+    # ------------------------------------------------------------------
+    @property
+    def windows_s(self) -> Tuple[_Window, ...]:
+        """The merged ``(start, end)`` windows, in time order."""
+        return self._windows
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the schedule has no blackout at all."""
+        return not self._windows
+
+    @property
+    def total_outage_s(self) -> float:
+        """Summed blackout time across all windows."""
+        return sum(end - start for start, end in self._windows)
+
+    # ------------------------------------------------------------------
+    def is_out(self, now_s: float) -> bool:
+        """Whether the link is blacked out at ``now_s``."""
+        for start, end in self._windows:
+            if now_s < start:
+                return False
+            if now_s < end:
+                return True
+        return False
+
+    def next_clear_s(self, now_s: float) -> float:
+        """Earliest time >= ``now_s`` at which the link is clear."""
+        for start, end in self._windows:
+            if now_s < start:
+                return now_s
+            if now_s < end:
+                return end
+        return now_s
+
+
+class BatchOutageSchedule:
+    """Per-replica blackout windows, queried vectorised (RL105 twin)."""
+
+    def __init__(
+        self,
+        windows_s: Sequence[Iterable[Sequence[float]]] = (),
+        n_replicas: Optional[int] = None,
+    ) -> None:
+        per_replica = [_normalise(w) for w in windows_s]
+        if n_replicas is None:
+            n_replicas = len(per_replica)
+        if len(per_replica) != n_replicas:
+            raise ValueError(
+                f"got windows for {len(per_replica)} replicas, "
+                f"expected {n_replicas}"
+            )
+        if n_replicas <= 0:
+            raise ValueError("n_replicas must be positive")
+        self.n_replicas = n_replicas
+        self._per_replica = tuple(per_replica)
+        width = max((len(w) for w in per_replica), default=0)
+        # Padded (R, W) bounds; inf/inf padding never matches a query.
+        self._starts = np.full((n_replicas, width), np.inf)
+        self._ends = np.full((n_replicas, width), np.inf)
+        for r, windows in enumerate(per_replica):
+            for i, (start, end) in enumerate(windows):
+                self._starts[r, i] = start
+                self._ends[r, i] = end
+
+    @classmethod
+    def from_plan(
+        cls, plans: Sequence[FaultPlan], target: str = "link"
+    ) -> "BatchOutageSchedule":
+        """Compile one plan per replica."""
+        return cls([plan.outage_windows_s(target) for plan in plans])
+
+    @classmethod
+    def broadcast(
+        cls, schedule: OutageSchedule, n_replicas: int
+    ) -> "BatchOutageSchedule":
+        """The same scalar schedule applied to every replica."""
+        return cls([schedule.windows_s] * n_replicas, n_replicas=n_replicas)
+
+    # ------------------------------------------------------------------
+    @property
+    def windows_s(self) -> Tuple[Tuple[_Window, ...], ...]:
+        """Per-replica merged ``(start, end)`` windows."""
+        return self._per_replica
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no replica has any blackout."""
+        return all(not w for w in self._per_replica)
+
+    @property
+    def total_outage_s(self) -> np.ndarray:
+        """Per-replica summed blackout time."""
+        return np.array(
+            [sum(end - start for start, end in w) for w in self._per_replica]
+        )
+
+    # ------------------------------------------------------------------
+    def is_out(self, now_s: float) -> np.ndarray:
+        """Per-replica blackout mask at ``now_s`` (shape ``(R,)``)."""
+        if self._starts.shape[1] == 0:
+            return np.zeros(self.n_replicas, dtype=bool)
+        inside = (self._starts <= now_s) & (now_s < self._ends)
+        return inside.any(axis=1)
+
+    def next_clear_s(self, now_s: float) -> np.ndarray:
+        """Per-replica earliest time >= ``now_s`` that is clear."""
+        clear = np.full(self.n_replicas, float(now_s))
+        if self._starts.shape[1] == 0:
+            return clear
+        inside = (self._starts <= now_s) & (now_s < self._ends)
+        hit = inside.any(axis=1)
+        if hit.any():
+            ends = np.where(inside, self._ends, -np.inf).max(axis=1)
+            clear[hit] = ends[hit]
+        return clear

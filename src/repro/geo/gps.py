@@ -52,6 +52,23 @@ class GpsReceiver:
         self.config = config
         self._error = np.zeros(3)
         self._last_time: float | None = None
+        self._degradation = 1.0
+
+    @property
+    def degradation(self) -> float:
+        """Current sigma multiplier (1.0 = nominal reception)."""
+        return self._degradation
+
+    def set_degradation(self, factor: float) -> None:
+        """Scale the noise sigmas by ``factor`` (jamming, multipath).
+
+        ``factor`` must be >= 1; pass 1.0 to restore nominal reception.
+        Used by :class:`repro.faults.injector.FaultInjector` for
+        ``gps_degradation`` faults.
+        """
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        self._degradation = float(factor)
 
     def fix(self, time_s: float, true_position: EnuPoint) -> GeoPoint:
         """Return a noisy geodetic fix for ``true_position`` at ``time_s``."""
@@ -72,6 +89,12 @@ class GpsReceiver:
                 cfg.vertical_sigma_m,
             ]
         )
+        if self._degradation != 1.0:  # reprolint: disable=RL104
+            # Exact comparison on purpose: set_degradation only ever
+            # stores the literal 1.0 for nominal reception, and the
+            # guard exists so the fault-free fix series stays
+            # bit-identical (a tolerance would defeat it).
+            sigmas = sigmas * self._degradation
         if self._last_time is None:
             self._error = self._rng.normal(0.0, sigmas)
         else:

@@ -40,6 +40,8 @@ from ..channel.channel import (
     indoor_profile,
     quadrocopter_profile,
 )
+from ..faults.outage import BatchOutageSchedule
+from ..faults.plan import FaultPlan
 from ..net.batchlink import BatchWirelessLink
 from ..net.iperf import IperfSession
 from ..net.link import WirelessLink
@@ -97,6 +99,12 @@ class BatchCampaignConfig:
     #: *different* distances (a per-replica distance array), so NumPy
     #: overhead amortises over the whole block rather than per distance.
     block_size: int = 192
+    #: Poisson arrival rate of injected link outages per replica
+    #: (0 = fault-free; the campaign is then byte-identical to pre-fault
+    #: behaviour).
+    outage_rate_per_s: float = 0.0
+    #: Mean duration of each injected outage (exponential).
+    outage_mean_duration_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
@@ -107,7 +115,18 @@ class BatchCampaignConfig:
             raise ValueError("block_size must be >= 1")
         if not self.distances_m:
             raise ValueError("distances_m must not be empty")
+        if self.outage_rate_per_s < 0:
+            raise ValueError("outage_rate_per_s must be non-negative")
+        if self.outage_rate_per_s > 0 and self.outage_mean_duration_s <= 0:
+            raise ValueError(
+                "outage_mean_duration_s must be positive when outages are on"
+            )
         profile_by_name(self.profile)  # validate early, before pickling
+
+    @property
+    def faults_enabled(self) -> bool:
+        """Whether this campaign injects link outages."""
+        return self.outage_rate_per_s > 0
 
     def shards(self) -> List[Tuple[int, Tuple[float, ...]]]:
         """(shard_index, per-replica distances) task list.
@@ -166,6 +185,43 @@ def _shard_streams(config: BatchCampaignConfig, shard: int) -> RandomStreams:
     return RandomStreams(config.seed).fork(shard + 1)
 
 
+def _replica_fault_plan(config: BatchCampaignConfig, g: int) -> FaultPlan:
+    """The outage plan of *global* replica ``g`` — pool-layout free.
+
+    The fault stream is keyed to the replica's global index (its
+    position in the flattened (distance, replica) case list), never to
+    the shard that happens to execute it or to pool completion order.
+    Named streams make ``faults.outage`` independent of the shard
+    streams (``channel.*``, ``link.delivery``) even where fork salts
+    collide, so enabling faults perturbs nothing else — and the same
+    config yields bit-identical campaigns for any worker count.
+    """
+    rng = RandomStreams(config.seed).fork(g + 1).get("faults.outage")
+    return FaultPlan.sampled_outages(
+        rng,
+        horizon_s=config.duration_s,
+        rate_per_s=config.outage_rate_per_s,
+        mean_duration_s=config.outage_mean_duration_s,
+        name=f"replica{g}",
+        seed=config.seed,
+    )
+
+
+def _shard_outages(
+    config: BatchCampaignConfig, shard: int, n_replicas: int
+) -> Optional[BatchOutageSchedule]:
+    """Per-replica outage schedules for one shard (None = fault-free)."""
+    if not config.faults_enabled:
+        return None
+    first_g = shard * config.block_size
+    return BatchOutageSchedule(
+        [
+            _replica_fault_plan(config, first_g + offset).outage_windows_s()
+            for offset in range(n_replicas)
+        ]
+    )
+
+
 def _run_replica_block(
     config: BatchCampaignConfig,
     shard: int,
@@ -188,6 +244,7 @@ def _run_replica_block(
         batch_controller(config.controller, n_replicas),
         streams=streams,
         epoch_s=config.epoch_s,
+        outage=_shard_outages(config, shard, n_replicas),
         telemetry=telemetry,
     )
     distance_arr = np.asarray(distances_m, dtype=float)

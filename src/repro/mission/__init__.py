@@ -1,6 +1,13 @@
 """End-to-end mission simulation: sector sweeps and delivery policies."""
 
-from .ferry import FerryChainPlanner, FerryPlan, HopPlan
+from .ferry import (
+    FerryChainPlanner,
+    FerryPlan,
+    HopPlan,
+    ResumableFerryTransfer,
+    ResumableTransferReport,
+    TransferCheckpoint,
+)
 from .lawnmower import lawnmower_waypoints, strip_width_m
 from .sar import POLICIES, EpisodeResult, MissionSummary, SarMissionSim
 
@@ -8,6 +15,9 @@ __all__ = [
     "FerryChainPlanner",
     "FerryPlan",
     "HopPlan",
+    "ResumableFerryTransfer",
+    "ResumableTransferReport",
+    "TransferCheckpoint",
     "lawnmower_waypoints",
     "strip_width_m",
     "POLICIES",

@@ -18,8 +18,8 @@ too).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..api import (
     OptimalDecision,
@@ -29,8 +29,19 @@ from ..api import (
     solve,
 )
 from ..geo.coords import EnuPoint
+from ..net.link import WirelessLink
+from ..net.packets import ImageBatch
+from ..net.retry import RetryPolicy
+from ..net.udp import TransferStalled, UdpTransfer
 
-__all__ = ["HopPlan", "FerryPlan", "FerryChainPlanner"]
+__all__ = [
+    "HopPlan",
+    "FerryPlan",
+    "FerryChainPlanner",
+    "TransferCheckpoint",
+    "ResumableTransferReport",
+    "ResumableFerryTransfer",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +107,174 @@ def _fold_silent_leg(
         shipping_s=decision.shipping_s + silent_s,
         discount=decision.discount * survival,
     )
+
+
+@dataclass(frozen=True)
+class TransferCheckpoint:
+    """Progress snapshot of a partially shipped ``Mdata`` batch.
+
+    Taken whenever a transfer is interrupted (idle timeout during an
+    injected blackout, node loss, operator abort) so a resume knows
+    exactly where the batch stands.  ``delivered_bytes`` is cumulative
+    over the whole batch lifetime — resuming from a checkpoint never
+    re-ships delivered bytes and never drops undelivered ones.
+    """
+
+    batch_id: int
+    total_bytes: int
+    delivered_bytes: int
+    time_s: float
+    reason: str = "stalled"
+
+    @property
+    def remaining_bytes(self) -> int:
+        """Bytes still to ship after this checkpoint."""
+        return self.total_bytes - self.delivered_bytes
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of the batch shipped so far."""
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.delivered_bytes / self.total_bytes
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (chaos reports, CLI)."""
+        return {
+            "batch_id": self.batch_id,
+            "total_bytes": self.total_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "remaining_bytes": self.remaining_bytes,
+            "time_s": self.time_s,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class ResumableTransferReport:
+    """Outcome of a checkpoint/resume transfer run."""
+
+    finish_s: float
+    completed: bool
+    delivered_bytes: int
+    total_bytes: int
+    resumes: int
+    blackout_retries: int
+    blackout_wait_s: float
+    checkpoints: Tuple[TransferCheckpoint, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (chaos reports, CLI)."""
+        return {
+            "finish_s": self.finish_s,
+            "completed": self.completed,
+            "delivered_bytes": self.delivered_bytes,
+            "total_bytes": self.total_bytes,
+            "resumes": self.resumes,
+            "blackout_retries": self.blackout_retries,
+            "blackout_wait_s": self.blackout_wait_s,
+            "checkpoints": [c.to_dict() for c in self.checkpoints],
+        }
+
+
+class ResumableFerryTransfer:
+    """Ships one batch to completion across interruptions.
+
+    Wraps :class:`~repro.net.udp.UdpTransfer` in a checkpoint/resume
+    loop: every :class:`~repro.net.udp.TransferStalled` (an injected
+    blackout outlasting the idle timeout) snapshots progress as a
+    :class:`TransferCheckpoint` and restarts the transfer — with a
+    fresh backoff schedule — on the *same*
+    :class:`~repro.net.packets.ImageBatch`, so delivered bytes are
+    conserved exactly (no loss, no double count; the chaos suite pins
+    this).
+    """
+
+    def __init__(
+        self,
+        link: WirelessLink,
+        batch: ImageBatch,
+        retry: RetryPolicy = RetryPolicy(),
+        idle_timeout_s: float = 2.0,
+        max_resumes: int = 8,
+        record_interval_s: float = 0.1,
+    ) -> None:
+        if max_resumes < 0:
+            raise ValueError("max_resumes must be non-negative")
+        self.link = link
+        self.batch = batch
+        self.retry = retry
+        self.idle_timeout_s = idle_timeout_s
+        self.max_resumes = max_resumes
+        self.record_interval_s = record_interval_s
+        self.checkpoints: List[TransferCheckpoint] = []
+
+    def run(
+        self,
+        start_s: float,
+        distance_fn: Callable[[float], float],
+        speed_fn: Optional[Callable[[float], float]] = None,
+        deadline_s: Optional[float] = None,
+    ) -> ResumableTransferReport:
+        """Transfer with checkpoint/resume until done, dead, or out of budget."""
+        now = start_s
+        resumes = 0
+        blackout_retries = 0
+        blackout_wait_s = 0.0
+        while True:
+            transfer = UdpTransfer(
+                self.link,
+                self.batch,
+                record_interval_s=self.record_interval_s,
+                retry=self.retry,
+                idle_timeout_s=self.idle_timeout_s,
+            )
+            try:
+                finish = transfer.run(
+                    now, distance_fn, speed_fn=speed_fn, deadline_s=deadline_s
+                )
+            except TransferStalled as stall:
+                blackout_retries += transfer.blackout_retries
+                blackout_wait_s += transfer.blackout_wait_s
+                self.checkpoints.append(
+                    TransferCheckpoint(
+                        batch_id=self.batch.batch_id,
+                        total_bytes=self.batch.total_bytes,
+                        delivered_bytes=self.batch.delivered_bytes,
+                        time_s=stall.at_s,
+                        reason="stalled",
+                    )
+                )
+                if resumes >= self.max_resumes:
+                    return self._report(
+                        stall.at_s, resumes, blackout_retries, blackout_wait_s
+                    )
+                resumes += 1
+                now = stall.at_s
+                continue
+            blackout_retries += transfer.blackout_retries
+            blackout_wait_s += transfer.blackout_wait_s
+            return self._report(
+                finish, resumes, blackout_retries, blackout_wait_s
+            )
+
+    def _report(
+        self,
+        finish_s: float,
+        resumes: int,
+        blackout_retries: int,
+        blackout_wait_s: float,
+    ) -> ResumableTransferReport:
+        return ResumableTransferReport(
+            finish_s=finish_s,
+            completed=self.batch.complete,
+            delivered_bytes=self.batch.delivered_bytes,
+            total_bytes=self.batch.total_bytes,
+            resumes=resumes,
+            blackout_retries=blackout_retries,
+            blackout_wait_s=blackout_wait_s,
+            checkpoints=tuple(self.checkpoints),
+        )
 
 
 class FerryChainPlanner:

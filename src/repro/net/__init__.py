@@ -6,7 +6,8 @@ from .iperf import IperfSession
 from .link import LinkStepResult, WirelessLink
 from .packets import Datagram, ImageBatch
 from .queue import BatchQueue
-from .udp import UdpTransfer
+from .retry import ExponentialBackoff, RetryPolicy
+from .udp import TransferStalled, UdpTransfer
 
 __all__ = [
     "BatchLinkStepResult",
@@ -19,5 +20,8 @@ __all__ = [
     "Datagram",
     "ImageBatch",
     "BatchQueue",
+    "ExponentialBackoff",
+    "RetryPolicy",
+    "TransferStalled",
     "UdpTransfer",
 ]

@@ -33,6 +33,7 @@ from typing import Optional
 import numpy as np
 
 from ..channel.channel import BatchAerialChannel
+from ..faults.outage import BatchOutageSchedule
 from ..mac.aggregation import AmpduConfig, AmpduLink
 from ..perf import PerfTelemetry
 from ..phy.error import ErrorModel
@@ -94,6 +95,7 @@ class BatchWirelessLink:
         streams: Optional[RandomStreams] = None,
         epoch_s: float = 0.02,
         stream_name: str = "link",
+        outage: Optional[BatchOutageSchedule] = None,
         telemetry: Optional[PerfTelemetry] = None,
     ) -> None:
         if epoch_s <= 0:
@@ -112,6 +114,17 @@ class BatchWirelessLink:
         streams = streams if streams is not None else RandomStreams(seed=0)
         self._rng = streams.get(f"{stream_name}.delivery")
         self.epoch_s = epoch_s
+        if outage is not None:
+            if outage.n_replicas != self.n_replicas:
+                raise ValueError(
+                    f"outage schedule has {outage.n_replicas} replicas, "
+                    f"link has {self.n_replicas}"
+                )
+            # An empty schedule is normalised away so the fault-free
+            # code path is byte-for-byte the pre-fault one.
+            if outage.is_empty:
+                outage = None
+        self.outage = outage
         self.telemetry = telemetry
         self._oracle_hints = hasattr(controller, "expected_goodput_bps")
         # Per-MCS lookup tables built with the scalar MAC/PHY code, so
@@ -136,6 +149,12 @@ class BatchWirelessLink:
         )
         self._app_payload_bytes = layout.app_payload_bytes
         self._subframe_bytes = layout.subframe_bytes
+
+    def is_blacked_out(self, now_s: float) -> np.ndarray:
+        """Per-replica injected-outage mask at ``now_s``."""
+        if self.outage is None:
+            return np.zeros(self.n_replicas, dtype=bool)
+        return self.outage.is_out(now_s)
 
     # ------------------------------------------------------------------
     def step(
@@ -196,6 +215,18 @@ class BatchWirelessLink:
             active = backlog > 0
             needed = np.maximum(-(-backlog // self._app_payload_bytes), 1)
             n_sub = np.maximum(1, np.minimum(n_sub, needed))
+        # Injected-outage replicas are excluded from the sending mask the
+        # same way drained ones are, so — like the scalar twin — they
+        # attempt no subframes and consume no delivery randomness while
+        # the channel and controller state keep evolving.
+        out = None
+        if self.outage is not None:
+            out = self.outage.is_out(now_s)
+            if not out.any():
+                out = None
+        sending = active
+        if out is not None:
+            sending = ~out if sending is None else (sending & ~out)
         airtime = self._airtime_table[mcs, n_sub - 1]
         n_bursts = np.maximum(1, (dt / airtime).astype(np.int64))
         total_sub = n_bursts * n_sub
@@ -206,20 +237,21 @@ class BatchWirelessLink:
             total_sub = np.minimum(
                 total_sub, np.maximum(2 * max_needed, n_sub)
             )
-            total_sub = np.where(active, total_sub, 0)
+        if sending is not None:
+            total_sub = np.where(sending, total_sub, 0)
         if tel is not None:
             t1 = clock()
             tel.add_time("mac", t1 - t0)
             t0 = t1
 
         p = np.maximum(0.0, 1.0 - per)
-        if backlog is None:
+        if sending is None:
             delivered = self._rng.binomial(total_sub, p)
         else:
             delivered = np.zeros(self.n_replicas, dtype=np.int64)
-            if active.any():
-                delivered[active] = self._rng.binomial(
-                    total_sub[active], p[active]
+            if sending.any():
+                delivered[sending] = self._rng.binomial(
+                    total_sub[sending], p[sending]
                 )
         payload = delivered * self._app_payload_bytes
         if backlog is not None:
@@ -234,10 +266,12 @@ class BatchWirelessLink:
             tel.add_time("feedback", clock() - t0)
             tel.count("epochs")
             tel.count("replica_epochs", self.n_replicas)
+            if out is not None:
+                tel.count("faults.outage_replica_epochs", int(out.sum()))
 
         result_air = np.minimum(dt, n_bursts * airtime)
-        if backlog is not None:
-            result_air = np.where(active, result_air, 0.0)
+        if sending is not None:
+            result_air = np.where(sending, result_air, 0.0)
         return BatchLinkStepResult(
             bytes_delivered=payload.astype(np.int64),
             subframes_sent=total_sub.astype(np.int64),

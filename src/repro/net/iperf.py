@@ -32,24 +32,38 @@ class IperfSession:
         duration_s: float,
         distance_fn: Callable[[float], float],
         speed_fn: Optional[Callable[[float], float]] = None,
+        idle_timeout_s: Optional[float] = None,
     ) -> TimeSeries:
         """Measure for ``duration_s`` seconds; returns the readings series.
 
         One reading per report interval: bits delivered in the interval
         divided by its length, the iperf UDP server-side estimator.
+        ``idle_timeout_s`` ends the session early once no byte has been
+        delivered for that long (an iperf client giving up on a dead
+        link during an injected blackout).
         """
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive")
         now = start_s
         end = start_s + duration_s
         interval_bytes = 0
         next_report = start_s + self.report_interval_s
+        last_progress = now
         while now < end:
+            if (
+                idle_timeout_s is not None
+                and now - last_progress >= idle_timeout_s
+            ):
+                break
             distance = distance_fn(now)
             speed = speed_fn(now) if speed_fn is not None else 0.0
             step = self.link.step(now, distance_m=distance, relative_speed_mps=speed)
             interval_bytes += step.bytes_delivered
             now += self.link.epoch_s
+            if step.bytes_delivered > 0:
+                last_progress = now
             if now >= next_report - 1e-12:
                 bps = interval_bytes * 8.0 / self.report_interval_s
                 self.readings.record(now, bps)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..channel.channel import AerialChannel
+from ..faults.outage import OutageSchedule
 from ..mac.aggregation import AmpduConfig, AmpduLink
 from ..phy.error import ErrorModel
 from ..phy.phy80211n import PhyConfig
@@ -63,6 +64,7 @@ class WirelessLink:
         streams: Optional[RandomStreams] = None,
         epoch_s: float = 0.02,
         stream_name: str = "link",
+        outage: Optional[OutageSchedule] = None,
     ) -> None:
         if epoch_s <= 0:
             raise ValueError("epoch_s must be positive")
@@ -74,7 +76,16 @@ class WirelessLink:
         streams = streams if streams is not None else RandomStreams(seed=0)
         self._rng = streams.get(f"{stream_name}.delivery")
         self.epoch_s = epoch_s
+        # An empty schedule is normalised away so the fault-free code
+        # path is byte-for-byte the pre-fault one.
+        if outage is not None and outage.is_empty:
+            outage = None
+        self.outage = outage
         self._oracle_hints = hasattr(controller, "expected_goodput_bps")
+
+    def is_blacked_out(self, now_s: float) -> bool:
+        """Whether an injected outage silences the link at ``now_s``."""
+        return self.outage is not None and self.outage.is_out(now_s)
 
     # ------------------------------------------------------------------
     def step(
@@ -107,6 +118,12 @@ class WirelessLink:
             else None
         )
         mcs = self.controller.select(now_s, snr_hint_db=hint)
+        if self.outage is not None and self.outage.is_out(now_s):
+            # Blacked out: the channel and controller state evolved as
+            # usual, but no subframes are attempted, no delivery
+            # randomness is consumed and no feedback is given —
+            # mirroring the backlog-drained early return below.
+            return LinkStepResult(0, 0, 0, mcs, snr, 0.0)
         layout = self.mac.config.layout
         per = self.error_model.per(snr, mcs, layout.subframe_bytes)
 

@@ -1,0 +1,59 @@
+"""Retry policies for transfers that must survive link blackouts.
+
+:class:`ExponentialBackoff` is a deliberately deterministic backoff —
+no jitter — because the repository's reproducibility contract demands
+that the same ``(seed, FaultPlan)`` pair replays the same trace.  The
+sequence is ``base, 2*base, 4*base, ...`` capped at ``max_delay_s``, so
+delays are monotone non-decreasing and bounded (pinned by the property
+tests in ``tests/properties/test_fault_properties.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExponentialBackoff", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of a transfer's blackout-retry behaviour."""
+
+    #: First retry delay once the link is found blacked out.
+    base_delay_s: float = 0.1
+    #: Ceiling on any single retry delay.
+    max_delay_s: float = 5.0
+    #: Delay multiplier between consecutive failed probes.
+    growth_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s <= 0:
+            raise ValueError("base_delay_s must be positive")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+        if self.growth_factor < 1.0:
+            raise ValueError("growth_factor must be >= 1")
+
+
+class ExponentialBackoff:
+    """Stateful deterministic exponential backoff."""
+
+    def __init__(self, policy: RetryPolicy = RetryPolicy()) -> None:
+        self.policy = policy
+        self._next_delay_s = policy.base_delay_s
+        self.retries = 0
+
+    def next_delay_s(self) -> float:
+        """The delay to wait now; advances the schedule."""
+        delay = self._next_delay_s
+        self.retries += 1
+        self._next_delay_s = min(
+            self.policy.max_delay_s,
+            self._next_delay_s * self.policy.growth_factor,
+        )
+        return delay
+
+    def reset(self) -> None:
+        """Forget past failures (call on any forward progress)."""
+        self._next_delay_s = self.policy.base_delay_s
+        self.retries = 0

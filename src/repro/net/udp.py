@@ -5,6 +5,14 @@ over a :class:`~repro.net.link.WirelessLink` while the geometry (distance,
 relative speed) evolves under the caller's control.  It records the
 cumulative delivered-bytes curve — exactly what Figure 1 of the paper
 plots.
+
+With a :class:`~repro.net.retry.RetryPolicy` the transfer also survives
+injected link blackouts (see :mod:`repro.faults`): while the link
+reports :meth:`~repro.net.link.WirelessLink.is_blacked_out`, the sender
+backs off exponentially instead of burning epochs, and an optional idle
+timeout turns a hopeless stall into a :class:`TransferStalled` exception
+the mission layer can checkpoint on.  Both knobs default to off, leaving
+fault-free behaviour untouched.
 """
 
 from __future__ import annotations
@@ -14,8 +22,24 @@ from typing import Callable, Optional
 from ..sim.monitor import TimeSeries
 from .link import WirelessLink
 from .packets import ImageBatch
+from .retry import ExponentialBackoff, RetryPolicy
 
-__all__ = ["UdpTransfer"]
+__all__ = ["TransferStalled", "UdpTransfer"]
+
+
+class TransferStalled(Exception):
+    """A transfer made no progress for longer than its idle timeout."""
+
+    def __init__(
+        self, at_s: float, delivered_bytes: int, remaining_bytes: int
+    ) -> None:
+        self.at_s = at_s
+        self.delivered_bytes = delivered_bytes
+        self.remaining_bytes = remaining_bytes
+        super().__init__(
+            f"transfer stalled at t={at_s:.3f}s with "
+            f"{remaining_bytes} bytes remaining"
+        )
 
 
 class UdpTransfer:
@@ -26,12 +50,20 @@ class UdpTransfer:
         link: WirelessLink,
         batch: ImageBatch,
         record_interval_s: float = 0.1,
+        retry: Optional[RetryPolicy] = None,
+        idle_timeout_s: Optional[float] = None,
     ) -> None:
         if record_interval_s <= 0:
             raise ValueError("record_interval_s must be positive")
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive")
         self.link = link
         self.batch = batch
+        self.retry = retry
+        self.idle_timeout_s = idle_timeout_s
         self.progress = TimeSeries(f"batch{batch.batch_id}.delivered_bytes")
+        self.blackout_retries = 0
+        self.blackout_wait_s = 0.0
         self._record_interval = record_interval_s
         self._last_recorded = None
 
@@ -47,13 +79,34 @@ class UdpTransfer:
         ``distance_fn(t)`` / ``speed_fn(t)`` describe the geometry during
         the transfer.  Returns the completion time; if the deadline cut
         the transfer short, returns the deadline (the batch records the
-        partial delivery).
+        partial delivery).  Raises :class:`TransferStalled` if an idle
+        timeout is set and no byte lands for that long.
         """
         now = start_s
         self._record(now)
+        backoff = (
+            ExponentialBackoff(self.retry) if self.retry is not None else None
+        )
+        last_progress_s = now
         while not self.batch.complete:
             if deadline_s is not None and now >= deadline_s:
                 return deadline_s
+            if (
+                self.idle_timeout_s is not None
+                and now - last_progress_s >= self.idle_timeout_s
+            ):
+                raise TransferStalled(
+                    now, self.batch.delivered_bytes, self.batch.remaining_bytes
+                )
+            if backoff is not None and self.link.is_blacked_out(now):
+                # Blacked out: probe again after an exponentially growing
+                # delay.  No link epoch runs, so no randomness is drawn
+                # while waiting — replay stays deterministic.
+                delay = backoff.next_delay_s()
+                self.blackout_retries += 1
+                self.blackout_wait_s += delay
+                now += delay
+                continue
             distance = distance_fn(now)
             speed = speed_fn(now) if speed_fn is not None else 0.0
             step = self.link.step(
@@ -64,6 +117,10 @@ class UdpTransfer:
             )
             self.batch.deliver(step.bytes_delivered)
             now += self.link.epoch_s
+            if step.bytes_delivered > 0:
+                last_progress_s = now
+                if backoff is not None:
+                    backoff.reset()
             self._record(now)
         return now
 

@@ -1,0 +1,1 @@
+"""Chaos test suite: deterministic fault injection and recovery."""

@@ -1,0 +1,237 @@
+"""End-to-end chaos tests: deterministic replay, recovery, batch parity.
+
+These are the acceptance tests of the fault subsystem:
+
+* identical ``(seed, FaultPlan)`` inputs replay byte-identical results;
+* an empty plan reproduces the plain :class:`~repro.net.udp.UdpTransfer`
+  pipeline bit for bit;
+* a mid-transfer outage is survived via exponential backoff and
+  checkpoint/resume, still completing before the deadline;
+* checkpoint/resume conserves delivered bytes exactly;
+* the batched link under an outage stays lockstep with the scalar link
+  at R=1 (the RL105 bit-equality contract extends to faults).
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    AerialChannel,
+    BatchAerialChannel,
+    airplane_profile,
+    quadrocopter_profile,
+)
+from repro.core import quadrocopter_scenario
+from repro.faults import (
+    BatchOutageSchedule,
+    FaultPlan,
+    FaultSpec,
+    OutageSchedule,
+    RetryPolicy,
+    run_chaos,
+)
+from repro.mission import ResumableFerryTransfer
+from repro.net import BatchWirelessLink, ImageBatch, UdpTransfer, WirelessLink
+from repro.phy import ErrorModel, batch_controller, scalar_controller
+from repro.sim import RandomStreams
+
+OUTAGE_PLAN = FaultPlan(name="mid", seed=1).with_outage(20.0, 4.0)
+
+
+class TestDeterministicReplay:
+    def test_same_inputs_same_result(self):
+        a = run_chaos(OUTAGE_PLAN, seed=1)
+        b = run_chaos(OUTAGE_PLAN, seed=1)
+        assert a.to_dict() == b.to_dict()
+
+    def test_seed_changes_the_trace(self):
+        a = run_chaos(OUTAGE_PLAN, seed=1)
+        b = run_chaos(OUTAGE_PLAN, seed=2)
+        assert a.finish_s != b.finish_s
+
+    def test_result_is_json_ready(self):
+        import json
+
+        payload = json.dumps(run_chaos(OUTAGE_PLAN).to_dict(), sort_keys=True)
+        assert "blackout_retries" in payload
+
+
+class TestEmptyPlanNoOp:
+    def test_matches_plain_pipeline_bit_for_bit(self):
+        """FaultPlan() must add nothing: same draws, same trace."""
+        result = run_chaos(FaultPlan(), scenario_name="quadrocopter", seed=1)
+
+        scn = quadrocopter_scenario()
+        dopt = scn.solve().distance_m
+        streams = RandomStreams(seed=1)
+        link = WirelessLink(
+            AerialChannel(quadrocopter_profile(), streams),
+            scalar_controller("arf"),
+            streams=streams,
+            epoch_s=0.02,
+        )
+        batch = ImageBatch(0, int(round(scn.data_bits / 8)))
+        speed = scn.cruise_speed_mps
+        d0 = scn.contact_distance_m
+        finish = UdpTransfer(link, batch).run(
+            0.0, lambda t: max(dopt, d0 - speed * t)
+        )
+
+        assert result.finish_s == finish
+        assert result.delivered_bytes == batch.delivered_bytes
+        assert result.completed and batch.complete
+        assert result.blackout_retries == 0
+        assert result.resumes == 0
+        assert result.checkpoints == ()
+        assert result.faults_fired == ()
+
+    def test_counters_clean(self):
+        counters = run_chaos(FaultPlan()).counters
+        assert not any(k.startswith("faults.") for k in counters)
+
+
+class TestOutageRecovery:
+    def test_mid_transfer_outage_completes_before_deadline(self):
+        result = run_chaos(OUTAGE_PLAN, seed=1, deadline_s=120.0)
+        assert result.completed
+        assert result.finish_s < 120.0
+        assert result.delivered_fraction == 1.0
+        assert result.blackout_retries > 0
+        assert result.counters["faults.link_outage"] == 1
+
+    def test_outage_costs_time(self):
+        clean = run_chaos(FaultPlan(), seed=1)
+        faulted = run_chaos(OUTAGE_PLAN, seed=1)
+        assert faulted.finish_s > clean.finish_s
+        assert faulted.delivered_bytes == clean.delivered_bytes
+
+    def test_backoff_waits_cover_the_blackout(self):
+        result = run_chaos(OUTAGE_PLAN, seed=1)
+        # Total waited time is at least the outage minus one idle
+        # timeout (a checkpoint restarts the backoff schedule).
+        assert result.blackout_wait_s > 0.0
+        assert result.blackout_wait_s <= 4.0 + result.resumes * 2.0
+
+    def test_node_loss_triggers_replan(self):
+        plan = FaultPlan(name="loss").add(FaultSpec("node_loss", 10.0))
+        result = run_chaos(plan, seed=1)
+        assert result.completed
+        assert len(result.replans) == 1
+        replan = result.replans[0]
+        scn = quadrocopter_scenario()
+        assert scn.min_distance_m <= replan["dopt_m"] <= scn.contact_distance_m
+        assert [kind for _, kind in result.faults_fired] == ["node_loss"]
+
+    def test_brownout_drains_battery(self):
+        plan = FaultPlan().add(
+            FaultSpec("battery_brownout", 5.0, magnitude=0.3)
+        )
+        result = run_chaos(plan, seed=1)
+        assert result.battery_fraction == pytest.approx(0.7)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_chaos(FaultPlan(), scenario_name="zeppelin")
+
+
+class TestCheckpointResume:
+    def test_bytes_conserved_across_resume(self):
+        """Resume never loses or double-counts delivered bytes."""
+        streams = RandomStreams(4)
+        link = WirelessLink(
+            AerialChannel(quadrocopter_profile(), streams),
+            scalar_controller("arf"),
+            streams=streams,
+            outage=OutageSchedule([(3.0, 9.0)]),
+        )
+        batch = ImageBatch(0, 30_000_000)
+        ferry = ResumableFerryTransfer(
+            link,
+            batch,
+            retry=RetryPolicy(base_delay_s=0.1, max_delay_s=0.4),
+            idle_timeout_s=1.0,
+        )
+        report = ferry.run(0.0, lambda t: 25.0)
+        assert report.completed
+        assert batch.complete
+        assert report.delivered_bytes == batch.total_bytes
+        assert report.resumes >= 1
+        # Checkpoints snapshot monotone progress that the resumed
+        # transfers extend, never rewind.
+        deliveries = [c.delivered_bytes for c in report.checkpoints]
+        assert deliveries == sorted(deliveries)
+        assert all(0 <= d <= batch.total_bytes for d in deliveries)
+        for checkpoint in report.checkpoints:
+            assert (
+                checkpoint.delivered_bytes + checkpoint.remaining_bytes
+                == batch.total_bytes
+            )
+
+    def test_resume_budget_exhaustion_reports_partial(self):
+        streams = RandomStreams(4)
+        link = WirelessLink(
+            AerialChannel(quadrocopter_profile(), streams),
+            scalar_controller("arf"),
+            streams=streams,
+            outage=OutageSchedule([(1.0, 500.0)]),  # effectively forever
+        )
+        batch = ImageBatch(0, 50_000_000)
+        ferry = ResumableFerryTransfer(
+            link, batch, idle_timeout_s=1.0, max_resumes=2
+        )
+        report = ferry.run(0.0, lambda t: 25.0)
+        assert not report.completed
+        assert report.resumes == 2
+        assert 0 < report.delivered_bytes < batch.total_bytes
+        assert report.delivered_bytes == batch.delivered_bytes
+
+
+class TestBatchOutageParity:
+    def test_r1_outage_lockstep_with_scalar(self):
+        """The outage path must not break the R=1 bit-equality contract."""
+        windows = OutageSchedule([(1.0, 3.0), (6.0, 6.4)])
+        s1, s2 = RandomStreams(42), RandomStreams(42)
+        error_model = ErrorModel()
+        scalar = WirelessLink(
+            AerialChannel(airplane_profile(), s1),
+            scalar_controller("arf", error_model),
+            error_model=error_model,
+            streams=s1,
+            outage=windows,
+        )
+        batched = BatchWirelessLink(
+            BatchAerialChannel(airplane_profile(), 1, s2),
+            batch_controller("arf", 1, error_model),
+            error_model=error_model,
+            streams=s2,
+            outage=BatchOutageSchedule.broadcast(windows, 1),
+        )
+        now, blacked_epochs = 0.0, 0
+        for i in range(500):
+            distance = 120.0 + 90.0 * np.sin(i / 50.0)
+            want = scalar.step(now, distance_m=distance)
+            got = batched.step(now, distance_m=distance).result(0)
+            assert got == want, f"diverged at epoch {i} (t={now:.2f})"
+            if scalar.is_blacked_out(now):
+                blacked_epochs += 1
+                assert want.bytes_delivered == 0
+                assert bool(batched.is_blacked_out(now)[0])
+            now += scalar.epoch_s
+        assert blacked_epochs > 0  # the outage was actually exercised
+
+    def test_partial_replica_outage(self):
+        """Only the blacked-out replica goes silent; the rest deliver."""
+        streams = RandomStreams(7)
+        batched = BatchWirelessLink(
+            BatchAerialChannel(quadrocopter_profile(), 2, streams),
+            batch_controller("fixed:3", 2),
+            streams=streams,
+            outage=BatchOutageSchedule([[(0.0, 100.0)], []]),
+        )
+        totals = np.zeros(2)
+        now = 0.0
+        for _ in range(300):
+            totals += batched.step(now, distance_m=30.0).bytes_delivered
+            now += batched.epoch_s
+        assert totals[0] == 0
+        assert totals[1] > 0

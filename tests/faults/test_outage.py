@@ -1,0 +1,91 @@
+"""Tests for outage schedules: scalar queries and the batched twin."""
+
+import numpy as np
+import pytest
+
+from repro.faults import BatchOutageSchedule, FaultPlan, OutageSchedule
+
+
+class TestOutageSchedule:
+    def test_empty_schedule(self):
+        schedule = OutageSchedule()
+        assert schedule.is_empty
+        assert schedule.total_outage_s == 0.0
+        assert not schedule.is_out(0.0)
+        assert schedule.next_clear_s(3.0) == 3.0
+
+    def test_windows_sorted_and_merged(self):
+        schedule = OutageSchedule([(2.0, 5.0), (1.0, 3.0), (7.0, 8.0)])
+        assert schedule.windows_s == ((1.0, 5.0), (7.0, 8.0))
+        assert schedule.total_outage_s == 5.0
+
+    def test_is_out_half_open(self):
+        schedule = OutageSchedule([(1.0, 5.0)])
+        assert not schedule.is_out(0.999)
+        assert schedule.is_out(1.0)  # start inclusive
+        assert schedule.is_out(4.999)
+        assert not schedule.is_out(5.0)  # end exclusive
+
+    def test_next_clear(self):
+        schedule = OutageSchedule([(1.0, 5.0), (7.0, 8.0)])
+        assert schedule.next_clear_s(0.5) == 0.5
+        assert schedule.next_clear_s(2.0) == 5.0
+        assert schedule.next_clear_s(7.5) == 8.0
+        assert schedule.next_clear_s(9.0) == 9.0
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            OutageSchedule([(-1.0, 2.0)])
+        with pytest.raises(ValueError, match="end > start"):
+            OutageSchedule([(3.0, 3.0)])
+
+    def test_from_plan_filters_kind_and_target(self):
+        plan = (
+            FaultPlan()
+            .with_outage(1.0, 2.0)
+            .with_outage(9.0, 1.0, target="relay")
+        )
+        schedule = OutageSchedule.from_plan(plan)
+        assert schedule.windows_s == ((1.0, 3.0),)
+        relay = OutageSchedule.from_plan(plan, target="relay")
+        assert relay.windows_s == ((9.0, 10.0),)
+
+
+class TestBatchOutageSchedule:
+    def test_broadcast_matches_scalar_everywhere(self):
+        scalar = OutageSchedule([(1.0, 4.0), (6.0, 6.5)])
+        batched = BatchOutageSchedule.broadcast(scalar, 3)
+        for now in np.arange(0.0, 8.0, 0.05):
+            out = batched.is_out(float(now))
+            clear = batched.next_clear_s(float(now))
+            assert out.shape == (3,) and clear.shape == (3,)
+            assert np.all(out == scalar.is_out(float(now)))
+            assert np.all(clear == scalar.next_clear_s(float(now)))
+
+    def test_per_replica_windows_independent(self):
+        batched = BatchOutageSchedule([[(0.0, 2.0)], [], [(3.0, 4.0)]])
+        assert batched.n_replicas == 3
+        assert list(batched.is_out(1.0)) == [True, False, False]
+        assert list(batched.is_out(3.5)) == [False, False, True]
+        assert list(batched.total_outage_s) == [2.0, 0.0, 1.0]
+        assert not batched.is_empty
+
+    def test_replica_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="replicas"):
+            BatchOutageSchedule([[(0.0, 1.0)]], n_replicas=4)
+        with pytest.raises(ValueError, match="positive"):
+            BatchOutageSchedule([], n_replicas=0)
+
+    def test_empty_batch(self):
+        batched = BatchOutageSchedule([[], []])
+        assert batched.is_empty
+        assert not batched.is_out(0.0).any()
+        assert np.all(batched.next_clear_s(2.0) == 2.0)
+
+    def test_from_plan_one_plan_per_replica(self):
+        plans = [
+            FaultPlan(name="r0").with_outage(1.0, 1.0),
+            FaultPlan(name="r1").with_outage(5.0, 2.0),
+        ]
+        batched = BatchOutageSchedule.from_plan(plans)
+        assert batched.windows_s == (((1.0, 2.0),), ((5.0, 7.0),))

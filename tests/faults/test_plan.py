@@ -1,0 +1,146 @@
+"""Tests for fault plans: validation, ordering, serialisation, sampling."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import merge_plans
+from repro.sim import RandomStreams
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor_strike", 1.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultSpec("node_loss", -1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultSpec("node_loss", 1.0, duration_s=-2.0)
+
+    @pytest.mark.parametrize("kind", ["link_outage", "gps_degradation"])
+    def test_window_kinds_require_duration(self, kind):
+        with pytest.raises(ValueError, match="positive duration"):
+            FaultSpec(kind, 1.0, duration_s=0.0, magnitude=2.0)
+
+    def test_gps_magnitude_must_degrade(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            FaultSpec("gps_degradation", 1.0, duration_s=2.0, magnitude=0.5)
+        spec = FaultSpec("gps_degradation", 1.0, duration_s=2.0, magnitude=4.0)
+        assert spec.magnitude == 4.0
+
+    def test_brownout_magnitude_is_fraction(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="fraction"):
+                FaultSpec("battery_brownout", 1.0, magnitude=bad)
+        assert FaultSpec("battery_brownout", 1.0, magnitude=1.0).magnitude == 1.0
+
+    def test_end_s(self):
+        assert FaultSpec("link_outage", 3.0, 4.0).end_s == 7.0
+        assert FaultSpec("node_loss", 3.0).end_s == 3.0
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec("gps_degradation", 2.5, 1.5, magnitude=3.0, target="nav")
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.kinds() == {}
+        assert plan.outage_windows_s() == ()
+
+    def test_faults_sorted_by_time(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec("node_loss", 9.0),
+                FaultSpec("link_outage", 2.0, 1.0),
+                FaultSpec("battery_brownout", 5.0, magnitude=0.2),
+            )
+        )
+        assert [f.at_s for f in plan.faults] == [2.0, 5.0, 9.0]
+
+    def test_kinds_and_of_kind(self):
+        plan = (
+            FaultPlan(name="mix")
+            .with_outage(1.0, 2.0)
+            .with_outage(8.0, 1.0)
+            .add(FaultSpec("node_loss", 4.0))
+        )
+        assert plan.kinds() == {"link_outage": 2, "node_loss": 1}
+        assert [f.at_s for f in plan.of_kind("link_outage")] == [1.0, 8.0]
+        for kind in FAULT_KINDS:
+            assert all(f.kind == kind for f in plan.of_kind(kind))
+
+    def test_outage_windows_filter_target(self):
+        plan = FaultPlan().with_outage(1.0, 2.0).with_outage(5.0, 1.0, target="relay")
+        assert plan.outage_windows_s() == ((1.0, 3.0),)
+        assert plan.outage_windows_s(target="relay") == ((5.0, 6.0),)
+
+    def test_add_returns_new_plan(self):
+        base = FaultPlan(name="base", seed=3)
+        extended = base.add(FaultSpec("node_loss", 1.0))
+        assert base.is_empty
+        assert len(extended) == 1
+        assert extended.name == "base" and extended.seed == 3
+
+    def test_json_round_trip(self):
+        plan = (
+            FaultPlan(name="trip", seed=11)
+            .with_outage(3.0, 2.0)
+            .add(FaultSpec("battery_brownout", 7.0, magnitude=0.4))
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_dict_rejects_bad_faults(self):
+        with pytest.raises(ValueError, match="list"):
+            FaultPlan.from_dict({"name": "x", "faults": "oops"})
+
+    def test_merge_plans(self):
+        a = FaultPlan(name="a", seed=5).with_outage(4.0, 1.0)
+        b = FaultPlan(name="b", seed=9).with_outage(1.0, 1.0)
+        merged = merge_plans("ab", [a, b])
+        assert merged.name == "ab"
+        assert merged.seed == 5  # first plan's seed wins
+        assert [f.at_s for f in merged.faults] == [1.0, 4.0]
+
+
+class TestSampledOutages:
+    @staticmethod
+    def _draw(seed=7, **kwargs):
+        rng = RandomStreams(seed).get("faults.outage")
+        params = dict(
+            horizon_s=200.0, rate_per_s=0.05, mean_duration_s=3.0
+        )
+        params.update(kwargs)
+        return FaultPlan.sampled_outages(rng, **params)
+
+    def test_deterministic_for_same_stream(self):
+        assert self._draw().to_dict() == self._draw().to_dict()
+
+    def test_seed_changes_the_plan(self):
+        assert self._draw(seed=7).to_dict() != self._draw(seed=8).to_dict()
+
+    def test_all_outages_within_horizon(self):
+        plan = self._draw()
+        assert not plan.is_empty  # rate 0.05 over 200 s: ~10 expected
+        for spec in plan.faults:
+            assert spec.kind == "link_outage"
+            assert 0.0 <= spec.at_s < 200.0
+            assert spec.duration_s > 0.0
+
+    def test_zero_rate_is_empty(self):
+        assert self._draw(rate_per_s=0.0).is_empty
+
+    def test_validation(self):
+        rng = RandomStreams(1).get("faults.outage")
+        with pytest.raises(ValueError, match="horizon"):
+            FaultPlan.sampled_outages(rng, 0.0, 0.1, 1.0)
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan.sampled_outages(rng, 10.0, -0.1, 1.0)
+        with pytest.raises(ValueError, match="duration"):
+            FaultPlan.sampled_outages(rng, 10.0, 0.1, 0.0)

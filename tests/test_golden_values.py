@@ -11,6 +11,7 @@ import pytest
 
 from repro.core import airplane_scenario, quadrocopter_scenario
 from repro.experiments import fig1, fig9
+from repro.faults import FaultPlan, run_chaos
 
 
 class TestScenarioGoldens:
@@ -80,3 +81,51 @@ class TestFigureGoldens:
         assert quadrocopter_scenario().data_megabytes == pytest.approx(
             56.2, abs=0.6
         )
+
+
+class TestChaosGoldens:
+    """The fault layer must be a strict no-op when nothing is injected.
+
+    An empty :class:`~repro.faults.FaultPlan` routes through exactly the
+    pre-fault code path (``outage=None`` in the link, no backoff draws,
+    no injector events), so the chaos runner must reproduce the plain
+    transfer pipeline bit for bit — same RNG draws, same float
+    accumulation, same finish time.  Any drift here means the fault
+    hooks leaked into nominal behaviour.
+    """
+
+    def test_empty_plan_is_bit_identical_to_plain_pipeline(self):
+        from repro.channel import AerialChannel, quadrocopter_profile
+        from repro.net import ImageBatch, UdpTransfer, WirelessLink
+        from repro.phy import scalar_controller
+        from repro.sim import RandomStreams
+
+        result = run_chaos(FaultPlan(), scenario_name="quadrocopter", seed=1)
+
+        scn = quadrocopter_scenario()
+        dopt = scn.solve().distance_m
+        streams = RandomStreams(seed=1)
+        link = WirelessLink(
+            AerialChannel(quadrocopter_profile(), streams),
+            scalar_controller("arf"),
+            streams=streams,
+            epoch_s=0.02,
+        )
+        batch = ImageBatch(0, int(round(scn.data_bits / 8)))
+        d0, speed = scn.contact_distance_m, scn.cruise_speed_mps
+        finish = UdpTransfer(link, batch).run(
+            0.0, lambda t: max(dopt, d0 - speed * t)
+        )
+
+        assert result.finish_s == finish  # exact, not approx
+        assert result.delivered_bytes == batch.delivered_bytes
+        assert result.completed
+
+    def test_quadrocopter_chaos_baseline(self):
+        """Pin the seed-1 fault-free run the docs quote (~29.1 s, 56.2 MB)."""
+        result = run_chaos(FaultPlan(), scenario_name="quadrocopter", seed=1)
+        assert result.dopt_m == pytest.approx(20.0, abs=0.5)
+        assert result.finish_s == pytest.approx(29.14, abs=0.5)
+        assert result.delivered_bytes == result.total_bytes
+        assert result.total_bytes == pytest.approx(56.2e6, rel=0.01)
+        assert result.blackout_retries == 0 and result.resumes == 0
