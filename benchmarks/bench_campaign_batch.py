@@ -11,9 +11,10 @@ checks the two acceptance criteria:
 
 The scalar side runs the full replica count: the median-agreement
 check needs matched sample sizes (a scalar slice has a visibly noisier
-median than the 64-replica batch).  The full report — including per-stage telemetry from
-``repro.perf`` — is dumped to ``BENCH_campaign.json`` for the CI
-artifact.
+median than the 64-replica batch).  The full report is wrapped in the
+same :class:`~repro.obs.RunManifest` that ``repro bench --json``
+prints — per-stage telemetry, campaign metrics and span trace included
+— and dumped to ``BENCH_campaign.json`` for the CI artifact.
 
 Run standalone:
 
@@ -28,8 +29,9 @@ from __future__ import annotations
 
 from conftest import dump_bench_json, run_once
 
-from repro.cli import bench_report
+from repro.cli import bench_manifest, bench_report
 from repro.measurements.batch import BatchCampaignConfig
+from repro.obs import ObsContext
 
 #: The headline workload (the Fig. 6 methodology).
 CAMPAIGN = BatchCampaignConfig(
@@ -48,7 +50,10 @@ MEDIAN_TOLERANCE = 0.02
 
 def measure() -> dict:
     """Run both engines on the headline workload; return the report."""
-    return bench_report(CAMPAIGN)
+    obs = ObsContext.enabled(deterministic=True)
+    report = bench_report(CAMPAIGN, obs=obs)
+    report["_manifest"] = bench_manifest(report, obs=obs).to_dict()
+    return report
 
 
 def check(report: dict) -> bool:
@@ -72,6 +77,7 @@ def check(report: dict) -> bool:
 
 def main() -> int:
     report = measure()
+    manifest = report.pop("_manifest")
     workload = report["workload"]
     print(
         f"workload: {workload['profile']}/{workload['controller']}, "
@@ -83,8 +89,8 @@ def main() -> int:
     for stage, entry in report["batched"]["telemetry"]["stages"].items():
         print(f"  stage {stage:10s}: {entry['seconds']:7.3f} s")
     ok = check(report)
-    path = dump_bench_json(report)
-    print(f"report written to {path}")
+    path = dump_bench_json(manifest)
+    print(f"manifest written to {path}")
     return 0 if ok else 1
 
 
@@ -94,7 +100,7 @@ def main() -> int:
 
 def test_campaign_batch_beats_scalar_10x(benchmark):
     report = run_once(benchmark, measure)
-    dump_bench_json(report)
+    dump_bench_json(report.pop("_manifest"))
     assert report["speedup"] >= TARGET_SPEEDUP
     assert all(
         rel <= MEDIAN_TOLERANCE

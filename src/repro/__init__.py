@@ -40,6 +40,7 @@ from .api import (
     FaultPlan,
     FaultSpec,
     OptimalDecision,
+    RunResult,
     Scenario,
     airplane_scenario,
     chaos,
@@ -75,6 +76,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "OptimalDecision",
+    "RunResult",
     "Scenario",
     "airplane_scenario",
     "chaos",

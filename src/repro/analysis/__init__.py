@@ -10,6 +10,9 @@ The rules (see :mod:`repro.analysis.base` and docs/STATIC_ANALYSIS.md):
 * **RL104 float-equality** — no exact ``==``/``!=`` on float literals.
 * **RL105 batch-twin-parity** — ``Batch*`` classes mirror their scalar
   twins' public API modulo the array dimension.
+* **RL106 wall-clock-discipline** — wall-clock reads outside
+  :mod:`repro.perf` / :mod:`repro.obs` go through
+  :data:`repro.perf.wall_clock`, never bare ``time.perf_counter``.
 
 Run it as ``repro lint [--json] [--rule RL10x ...]``, or from code::
 
@@ -20,11 +23,12 @@ Run it as ``repro lint [--json] [--rule RL10x ...]``, or from code::
 
 from .base import Finding, Rule, all_rules  # noqa: F401
 from .baseline import Baseline  # noqa: F401
-from .checkers import (  # noqa: F401  (import registers RL101-RL104)
+from .checkers import (  # noqa: F401  (import registers RL101-RL104, RL106)
     FloatEqualityChecker,
     RngDisciplineChecker,
     SimTimePurityChecker,
     UnitSuffixChecker,
+    WallClockDisciplineChecker,
 )
 from .parity import BatchTwinParityChecker, ParityPair  # noqa: F401
 from .suppress import split_suppressed, suppressions_for_source  # noqa: F401
@@ -46,6 +50,7 @@ __all__ = [
     "SimTimePurityChecker",
     "UnitSuffixChecker",
     "FloatEqualityChecker",
+    "WallClockDisciplineChecker",
     "BatchTwinParityChecker",
     "ParityPair",
     "split_suppressed",

@@ -15,6 +15,9 @@ RL103     unit-suffix discipline — no dB/linear mixing, no unsuffixed
 RL104     float-equality — no ``==``/``!=`` against float literals
 RL105     batch-twin parity — every ``Batch*`` class mirrors its
           scalar twin's public API modulo the array dimension
+RL106     wall-clock discipline — instrumentation outside
+          :mod:`repro.perf` / :mod:`repro.obs` reads time only via
+          :data:`repro.perf.wall_clock`
 ========  ============================================================
 
 Checkers come in two shapes: *module* checkers (see

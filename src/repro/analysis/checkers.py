@@ -1,4 +1,4 @@
-"""Module-level domain checkers: RL101-RL104.
+"""Module-level domain checkers: RL101-RL104 and RL106.
 
 Each checker resolves names through a per-module import-alias map, so
 ``import numpy as np`` / ``from numpy import random as npr`` / ``from
@@ -24,6 +24,7 @@ __all__ = [
     "SimTimePurityChecker",
     "UnitSuffixChecker",
     "FloatEqualityChecker",
+    "WallClockDisciplineChecker",
     "unit_suffix",
 ]
 
@@ -253,6 +254,67 @@ class SimTimePurityChecker(ModuleChecker):
                         f"wall-clock read ({canonical}) inside simulation "
                         "code; use the kernel's simulated now_s (or move "
                         "instrumentation to repro.perf)",
+                    )
+                )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RL106 — wall-clock discipline (instrumentation outside sim packages)
+# ----------------------------------------------------------------------
+
+#: Modules allowed to read wall clocks directly: the telemetry layer
+#: that defines the sanctioned ``repro.perf.wall_clock`` alias, and the
+#: observability package built on top of it.
+_CLOCK_ALLOWED_FILES = {"perf.py"}
+_CLOCK_ALLOWED_PREFIXES = ("obs/",)
+
+
+@register_checker
+class WallClockDisciplineChecker(ModuleChecker):
+    """RL106: all wall-clock reads flow through ``repro.perf.wall_clock``.
+
+    RL102 keeps wall clocks out of the *simulation* packages entirely;
+    RL106 covers everything else.  Instrumentation code may time itself,
+    but only through the sanctioned :data:`repro.perf.wall_clock` alias
+    (or a :class:`~repro.perf.StageTimer` / tracer span built on it) —
+    a bare ``time.perf_counter()`` is untraceable by the observability
+    layer and invisible to run manifests.  Only :mod:`repro.perf`
+    itself and the :mod:`repro.obs` package touch :mod:`time` directly.
+    """
+
+    rule = Rule(
+        id="RL106",
+        name="wall-clock-discipline",
+        summary=(
+            "wall-clock reads outside repro.perf / repro.obs must use "
+            "repro.perf.wall_clock, never bare time.perf_counter et al."
+        ),
+    )
+
+    def check_module(self, module: ModuleInfo) -> List[Finding]:
+        if module.path in _CLOCK_ALLOWED_FILES:
+            return []
+        if module.path.startswith(_CLOCK_ALLOWED_PREFIXES):
+            return []
+        if module.path.startswith(_SIM_PACKAGES):
+            return []  # RL102 territory: wall clocks are banned outright
+        aliases = _collect_aliases(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            canonical: Optional[str] = None
+            if isinstance(node, ast.Attribute):
+                canonical = _resolve(node, aliases)
+            elif isinstance(node, ast.Name):
+                canonical = aliases.get(node.id)
+            if canonical in _WALL_CLOCKS:
+                findings.append(
+                    module.finding(
+                        self.rule.id,
+                        node,
+                        f"bare wall-clock read ({canonical}); use "
+                        "repro.perf.wall_clock (or a StageTimer/span) so "
+                        "the observability layer can account for it",
                     )
                 )
         return findings

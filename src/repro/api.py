@@ -9,9 +9,10 @@ between releases.  The surface is deliberately small:
   — problem construction, with uniform keyword overrides
   (``mdata_mb=``, ``speed_mps=``, ``rho_per_m=``, ``d0_m=``) and
   :meth:`Scenario.with_` for everything else.
-* :func:`solve` — one Eq. 2 instance -> :class:`OptimalDecision`.
+* :func:`solve` — one Eq. 2 instance -> :class:`RunResult` wrapping an
+  :class:`OptimalDecision`.
 * :func:`solve_batch` — N instances in one vectorised pass ->
-  :class:`BatchResult`.
+  :class:`RunResult` wrapping a :class:`BatchResult`.
 * :func:`sweep` — one scenario, one parameter, many values.
 * :func:`utility_curve` — the sampled ``U(d)`` curve (Fig. 8 plots).
 * :class:`FaultPlan` / :class:`FaultSpec` / :func:`chaos` — deterministic
@@ -19,11 +20,26 @@ between releases.  The surface is deliberately small:
 
 All solving goes through the shared :class:`BatchSolverEngine`, so
 repeated instances are memoised process-wide.
+
+Results and the RunResult envelope
+----------------------------------
+Every entry point returns a versioned :class:`RunResult` envelope:
+``.outputs`` holds the underlying object (:class:`OptimalDecision`,
+:class:`BatchResult`, :class:`~repro.faults.chaos.ChaosResult`),
+``.manifest`` a :class:`~repro.obs.RunManifest` (config echo, seeds,
+git rev, and — when ``obs=`` was passed — telemetry, metrics, trace
+and events).  The envelope *delegates* attribute access, indexing and
+iteration to its outputs, so existing call sites
+(``solve(s).distance_m``, ``for d in solve_batch(...)``) keep working
+unchanged.  Callers that need the exact pre-envelope return type can
+pass ``legacy=True`` (deprecated; see ``docs/API.md`` for the
+timeline).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+import warnings
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +47,7 @@ from .core.optimizer import DistanceOptimizer, OptimalDecision
 from .core.scenario import Scenario, airplane_scenario, quadrocopter_scenario
 from .engine import BatchResult, BatchSolverEngine, default_engine
 from .faults.plan import FaultPlan, FaultSpec
+from .obs import ObsContext, RunManifest
 
 __all__ = [
     "BatchResult",
@@ -38,6 +55,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "OptimalDecision",
+    "RunResult",
     "Scenario",
     "airplane_scenario",
     "quadrocopter_scenario",
@@ -49,6 +67,107 @@ __all__ = [
     "sweep",
     "utility_curve",
 ]
+
+#: Bumped on any backwards-incompatible change to the envelope layout.
+RESULT_SCHEMA_VERSION = 1
+
+
+class RunResult:
+    """Versioned envelope around one run's outputs plus its manifest.
+
+    Attribute access, ``len()``, iteration and indexing all delegate to
+    ``.outputs``, so an envelope is a drop-in replacement at existing
+    call sites.  The envelope-level surface is deliberately tiny:
+
+    * ``kind`` — ``"solve"`` / ``"solve_batch"`` / ``"sweep"`` /
+      ``"chaos"``;
+    * ``outputs`` — the wrapped result object;
+    * ``scenario`` — echo of the solved scenario (None for chaos);
+    * ``manifest`` — the :class:`~repro.obs.RunManifest` of the run;
+    * ``schema_version`` — :data:`RESULT_SCHEMA_VERSION`.
+    """
+
+    __slots__ = ("kind", "outputs", "scenario", "manifest")
+
+    schema_version = RESULT_SCHEMA_VERSION
+
+    def __init__(
+        self,
+        kind: str,
+        outputs,
+        manifest: RunManifest,
+        scenario: Optional[Scenario] = None,
+    ) -> None:
+        self.kind = kind
+        self.outputs = outputs
+        self.manifest = manifest
+        self.scenario = scenario
+
+    # -- delegation: the envelope behaves like its outputs -------------
+    def __getattr__(self, name: str):
+        # Only called for names not found on the envelope itself.
+        return getattr(self.outputs, name)
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.outputs)
+
+    def __getitem__(self, index):
+        return self.outputs[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RunResult(kind={self.kind!r}, "
+            f"outputs={type(self.outputs).__name__}, "
+            f"schema_version={self.schema_version})"
+        )
+
+
+def _legacy_warning(fn: str) -> None:
+    warnings.warn(
+        f"repro.api.{fn}(legacy=True) returns the bare result object; "
+        "the RunResult envelope delegates every attribute, so most "
+        "callers can simply drop legacy=True.  The kwarg will be "
+        "removed two releases after 1.1 (see docs/API.md).",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _scenario_config(scn: Scenario) -> Dict[str, object]:
+    """The manifest's config echo for one scenario."""
+    return {
+        "scenario": scn.name,
+        "mdata_mb": scn.data_megabytes,
+        "speed_mps": scn.cruise_speed_mps,
+        "rho_per_m": scn.failure_rate_per_m,
+        "d0_m": scn.contact_distance_m,
+    }
+
+
+def _batch_outputs(result: BatchResult) -> Dict[str, object]:
+    """Bounded outputs summary for batch manifests.
+
+    Full per-row dumps are kept only for small batches; large fleets
+    get deterministic aggregates (a 100k-row sweep should not produce
+    a 100k-row manifest).
+    """
+    outputs: Dict[str, object] = {"n": len(result)}
+    if len(result):
+        outputs["distance_m"] = {
+            "min": float(result.distance_m.min()),
+            "max": float(result.distance_m.max()),
+            "mean": float(result.distance_m.mean()),
+        }
+        outputs["utility"] = {
+            "min": float(result.utility.min()),
+            "max": float(result.utility.max()),
+        }
+    if len(result) <= 32:
+        outputs["decisions"] = result.to_dicts()
+    return outputs
 
 _BASELINES = {
     "airplane": airplane_scenario,
@@ -77,19 +196,57 @@ def scenario(
 
 
 def solve(
-    scenario: Scenario, engine: Optional[BatchSolverEngine] = None
-) -> OptimalDecision:
-    """Solve Eq. 2 for one scenario (memoised)."""
-    return (engine or default_engine()).solve(scenario)
+    scenario: Scenario,
+    engine: Optional[BatchSolverEngine] = None,
+    obs: Optional[ObsContext] = None,
+    legacy: bool = False,
+) -> RunResult:
+    """Solve Eq. 2 for one scenario (memoised).
+
+    Returns a :class:`RunResult` delegating to the solved
+    :class:`OptimalDecision`; ``legacy=True`` returns the bare decision
+    (deprecated).  ``obs`` collects spans/metrics/events into the
+    manifest.
+    """
+    decision = (engine or default_engine()).solve(scenario, obs=obs)
+    if legacy:
+        _legacy_warning("solve")
+        return decision
+    manifest = RunManifest.build(
+        kind="solve",
+        config=_scenario_config(scenario),
+        outputs=decision.to_dict(),
+        obs=obs,
+    )
+    return RunResult("solve", decision, manifest, scenario=scenario)
 
 
 def solve_batch(
     scenarios: Iterable[Scenario],
     engine: Optional[BatchSolverEngine] = None,
     parallel: Optional[bool] = None,
-) -> BatchResult:
-    """Solve Eq. 2 for a fleet of scenarios in one vectorised pass."""
-    return (engine or default_engine()).solve_batch(scenarios, parallel=parallel)
+    obs: Optional[ObsContext] = None,
+    legacy: bool = False,
+) -> RunResult:
+    """Solve Eq. 2 for a fleet of scenarios in one vectorised pass.
+
+    Returns a :class:`RunResult` delegating to the
+    :class:`BatchResult` (iteration/indexing included); ``legacy=True``
+    returns the bare batch (deprecated).
+    """
+    result = (engine or default_engine()).solve_batch(
+        scenarios, parallel=parallel, obs=obs
+    )
+    if legacy:
+        _legacy_warning("solve_batch")
+        return result
+    manifest = RunManifest.build(
+        kind="solve_batch",
+        config={"n": len(result)},
+        outputs=_batch_outputs(result),
+        obs=obs,
+    )
+    return RunResult("solve_batch", result, manifest)
 
 
 def sweep(
@@ -97,34 +254,68 @@ def sweep(
     param: str,
     values: Iterable[float],
     engine: Optional[BatchSolverEngine] = None,
-) -> BatchResult:
+    obs: Optional[ObsContext] = None,
+    legacy: bool = False,
+) -> RunResult:
     """Solve ``scenario`` with one parameter swept over ``values``.
 
     ``param`` accepts the same names as :meth:`Scenario.with_`:
     ``mdata_mb``, ``speed_mps``, ``rho_per_m``, ``d0_m``, or any raw
-    ``Scenario`` field.
+    ``Scenario`` field.  Returns a :class:`RunResult` delegating to the
+    :class:`BatchResult`; ``legacy=True`` returns the bare batch
+    (deprecated).
     """
-    return (engine or default_engine()).sweep(scenario, param, values)
+    result = (engine or default_engine()).sweep(
+        scenario, param, values, obs=obs
+    )
+    if legacy:
+        _legacy_warning("sweep")
+        return result
+    manifest = RunManifest.build(
+        kind="sweep",
+        config={**_scenario_config(scenario), "param": param},
+        outputs=_batch_outputs(result),
+        obs=obs,
+    )
+    return RunResult("sweep", result, manifest, scenario=scenario)
 
 
 def chaos(
     plan: FaultPlan,
     scenario_name: str = "quadrocopter",
     seed: int = 1,
+    obs: Optional[ObsContext] = None,
+    legacy: bool = False,
     **kwargs,
-):
+) -> RunResult:
     """Run one solved mission under a fault plan (see ``repro chaos``).
 
     Thin façade over :func:`repro.faults.chaos.run_chaos` (imported
     lazily — the chaos runner pulls in the mission layer, which itself
-    imports this module).  Returns a
-    :class:`~repro.faults.chaos.ChaosResult`; identical inputs yield
-    identical results, and an empty plan reproduces the plain transfer
-    pipeline bit for bit.
-    """
-    from .faults.chaos import run_chaos
+    imports this module).  Identical inputs yield identical results,
+    and an empty plan reproduces the plain transfer pipeline bit for
+    bit.
 
-    return run_chaos(plan, scenario_name=scenario_name, seed=seed, **kwargs)
+    Returns a :class:`RunResult` delegating to the
+    :class:`~repro.faults.chaos.ChaosResult`; its manifest serialises
+    through the same builder as ``repro chaos --json``, so CLI and
+    library bytes agree.  ``obs`` defaults to a fresh *deterministic*
+    context (chaos runs carry a replay byte-identity guarantee, so a
+    wall-clocked tracer would be a contract violation); ``legacy=True``
+    returns the bare result (deprecated).
+    """
+    from .faults.chaos import chaos_manifest, run_chaos
+
+    if obs is None and not legacy:
+        obs = ObsContext.enabled(deterministic=True)
+    result = run_chaos(
+        plan, scenario_name=scenario_name, seed=seed, obs=obs, **kwargs
+    )
+    if legacy:
+        _legacy_warning("chaos")
+        return result
+    manifest = chaos_manifest(result, plan, obs=obs)
+    return RunResult("chaos", result, manifest)
 
 
 def utility_curve(

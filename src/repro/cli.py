@@ -8,13 +8,18 @@ mission     Run the end-to-end SAR mission policy comparison.
 validate    Re-check the channel calibration against the paper's fits.
 bench       Time the replica-batched campaign engine vs the scalar one.
 chaos       Run a solved mission under a deterministic fault plan.
-lint        Run the reprolint domain-invariant checkers (RL101-RL105).
+obs         Observability utilities (``obs summarize`` digests manifests).
+lint        Run the reprolint domain-invariant checkers (RL101-RL106).
 
 ``solve``, ``experiment``, ``bench``, ``chaos`` and ``lint`` accept
-``--json`` for machine-readable output (``bench --json`` includes
-per-stage timings and memo-hit telemetry; ``chaos --json`` is
-replay-deterministic — identical inputs print identical bytes; see
-docs/PERFORMANCE.md, docs/ROBUSTNESS.md and docs/STATIC_ANALYSIS.md).
+``--json`` for machine-readable output.  ``bench --json`` and ``chaos
+--json`` print a :class:`~repro.obs.RunManifest` — the same bytes the
+library emits via ``manifest.to_json()`` — and ``chaos --json`` stays
+replay-deterministic: identical inputs print identical bytes.
+``solve`` additionally takes ``--trace`` (span digest) and
+``--metrics-out FILE`` (write the run manifest); see
+docs/OBSERVABILITY.md, docs/PERFORMANCE.md, docs/ROBUSTNESS.md and
+docs/STATIC_ANALYSIS.md.
 
 The CLI talks to the library exclusively through the stable
 :mod:`repro.api` façade — no ``repro.core`` internals.
@@ -25,9 +30,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, List, Optional
 
-from .api import BatchResult, OptimalDecision, Scenario, scenario as make_scenario
+from .api import Scenario, scenario as make_scenario
 
 __all__ = ["main", "build_parser"]
 
@@ -67,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the decision as one JSON object instead of text",
+    )
+    solve.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect a wall-clocked span trace and print its digest",
+    )
+    solve.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the run manifest (config, seeds, git rev, metrics, "
+             "trace) as JSON to FILE",
     )
 
     experiment = sub.add_parser(
@@ -171,9 +186,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the deterministic chaos report as one JSON object",
     )
 
+    obs = sub.add_parser(
+        "obs", help="observability utilities (run manifests)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="digest a run-manifest JSON file"
+    )
+    summarize.add_argument("manifest", metavar="FILE")
+    summarize.add_argument(
+        "--top", type=int, default=10,
+        help="rows shown per section (default: 10)",
+    )
+
     lint = sub.add_parser(
         "lint",
-        help="run the reprolint domain-invariant checkers (RL101-RL105)",
+        help="run the reprolint domain-invariant checkers (RL101-RL106)",
     )
     lint.add_argument(
         "--path", default=None, metavar="DIR",
@@ -214,12 +242,34 @@ def _scenario_with_overrides(args: argparse.Namespace) -> Scenario:
     )
 
 
+def _make_obs(args: argparse.Namespace) -> "Any":
+    """The solve command's ObsContext, or None when obs is off.
+
+    ``--trace`` wall-clocks the tracer; ``--metrics-out`` alone builds a
+    *deterministic* context so the written manifest is byte-identical to
+    the one the library produces for the same scenario.
+    """
+    if not (args.trace or args.metrics_out):
+        return None
+    from .obs import ObsContext
+
+    return ObsContext.enabled(deterministic=not args.trace)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from .api import solve
 
     scenario = _scenario_with_overrides(args)
-    decision = solve(scenario)
+    obs = _make_obs(args)
+    result = solve(scenario, obs=obs)
+    decision = result.outputs
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(result.manifest.to_json())
+            handle.write("\n")
     if args.json:
+        if args.trace and obs is not None:
+            print(_trace_digest(obs), file=sys.stderr)
         payload = {"scenario": scenario.name, **decision.to_dict()}
         if args.sensitivity:
             from . import sensitivity
@@ -259,30 +309,29 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"  cruise speed      : {report.ddopt_dspeed:+.1f} m")
         print(f"  data size         : {report.ddopt_dmdata:+.1f} m")
         print(f"  dominant parameter: {report.dominant_parameter()}")
+    if args.trace and obs is not None:
+        print("-" * 40)
+        print(_trace_digest(obs))
     return 0
 
 
-def _iter_decisions(
-    node: Any, path: Tuple[str, ...] = ()
-) -> Iterator[Tuple[Tuple[str, ...], OptimalDecision]]:
-    """Walk an experiment's ``data`` tree, yielding every decision."""
-    if isinstance(node, OptimalDecision):
-        yield path, node
-    elif isinstance(node, BatchResult):
-        for index, decision in enumerate(node):
-            yield (*path, str(index)), decision
-    elif isinstance(node, dict):
-        for key, value in node.items():
-            yield from _iter_decisions(value, (*path, str(key)))
-    elif isinstance(node, (list, tuple)):
-        for index, value in enumerate(node):
-            yield from _iter_decisions(value, (*path, str(index)))
+def _trace_digest(obs: "Any") -> str:
+    """Per-span-name digest of a wall-clocked trace, for terminals."""
+    lines = ["trace:"]
+    for name, entry in obs.tracer.summary().items():
+        lines.append(
+            f"  {name:22s}: {entry['count']} span(s), "
+            f"{1e3 * entry['wall_s']:.3f} ms wall"
+        )
+    return "\n".join(lines)
 
 
 def _emit_experiment_json(report: Any) -> None:
     """One JSON object per decision found in the report's data tree."""
+    from .experiments.base import iter_decisions
+
     found = False
-    for path, decision in _iter_decisions(report.data):
+    for path, decision in iter_decisions(report.data):
         found = True
         print(json.dumps({
             "experiment": report.experiment_id,
@@ -351,19 +400,23 @@ def bench_report(
     config: "Any",
     parallel: Optional[bool] = None,
     scalar_replicas: Optional[int] = None,
+    obs: "Any" = None,
 ) -> dict:
     """Run the batched campaign and its scalar baseline; report timings.
 
     Shared by ``repro bench`` and the benchmark suite so both emit the
     same JSON shape: workload parameters, wall-clock for both engines,
     the speedup, per-stage timings, memo-hit counters and per-distance
-    medians (see docs/PERFORMANCE.md).
+    medians (see docs/PERFORMANCE.md).  ``obs`` collects campaign spans
+    and metrics across both runs (see :func:`bench_manifest`).
     """
     from .engine.batch import default_engine
     from .measurements.batch import run_campaign, run_scalar_reference
 
-    batch = run_campaign(config, parallel=parallel)
-    reference = run_scalar_reference(config, n_replicas=scalar_replicas)
+    batch = run_campaign(config, parallel=parallel, obs=obs)
+    reference = run_scalar_reference(
+        config, n_replicas=scalar_replicas, obs=obs
+    )
     timed = scalar_replicas if scalar_replicas else config.n_replicas
     scalar_wall = reference.wall_s * config.n_replicas / timed
     batch_medians = batch.medians_mbps()
@@ -407,8 +460,35 @@ def bench_report(
     }
 
 
+def bench_manifest(report: dict, obs: "Any" = None) -> "Any":
+    """Wrap a :func:`bench_report` dict in a :class:`RunManifest`.
+
+    The single serialisation point for bench JSON: ``repro bench
+    --json``, ``benchmarks/bench_campaign_batch.py`` and library
+    callers all emit this manifest, so the three previously hand-rolled
+    emitters cannot drift apart.
+    """
+    from .obs import RunManifest
+
+    workload = report["workload"]
+    return RunManifest.build(
+        kind="bench",
+        config=dict(workload),
+        seeds={"campaign": workload["seed"]},
+        outputs={
+            key: report[key]
+            for key in (
+                "scalar", "batched", "speedup", "median_agreement",
+                "solver_cache",
+            )
+        },
+        obs=obs,
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .measurements.batch import BatchCampaignConfig
+    from .obs import ObsContext
 
     config = BatchCampaignConfig(
         profile=args.profile,
@@ -418,13 +498,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
     )
+    obs = ObsContext.enabled(deterministic=True) if args.json else None
     report = bench_report(
         config,
         parallel=False if args.no_parallel else None,
         scalar_replicas=args.scalar_replicas,
+        obs=obs,
     )
     if args.json:
-        print(json.dumps(report))
+        print(bench_manifest(report, obs=obs).to_json())
         return 0
     workload = report["workload"]
     print(f"profile           : {workload['profile']}")
@@ -491,7 +573,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         max_resumes=args.max_resumes,
     )
     if args.json:
-        print(json.dumps(result.to_dict(), sort_keys=True))
+        # The run manifest is the one chaos serialisation: the library's
+        # result.manifest.to_json() prints these exact bytes, and replay
+        # determinism (identical inputs -> identical bytes) carries over
+        # because the chaos ObsContext is deterministic by contract.
+        print(result.manifest.to_json())
         return 0 if result.completed else 1
     print(f"scenario          : {result.scenario}")
     print(f"fault plan        : {result.plan_name} "
@@ -516,6 +602,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for time_s, kind in result.faults_fired:
         print(f"fault @ {time_s:7.2f} s : {kind}")
     return 0 if result.completed else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import ManifestSchemaError, summarize_manifest_file
+
+    try:
+        print(summarize_manifest_file(args.manifest, top=args.top))
+    except FileNotFoundError:
+        print(f"obs: no such manifest file: {args.manifest}",
+              file=sys.stderr)
+        return 1
+    except (ManifestSchemaError, ValueError) as exc:
+        print(f"obs: not a run manifest: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -566,6 +667,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
+        "obs": _cmd_obs,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -45,6 +45,7 @@ from .cache import CacheInfo, LruCache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.scenario import Scenario
+    from ..obs import ObsContext
 
 __all__ = ["BatchResult", "BatchSolverEngine", "default_engine"]
 
@@ -56,6 +57,10 @@ _MAX_GRID_POINTS = 4096
 #: scalar optimiser's rule so both solvers classify the flat-near-d0
 #: cases the same way.
 _SNAP_REL = 1e-4
+
+#: Fixed bucket edges for the batch-size histogram; registration-time
+#: constants so shard merges stay deterministic (see repro.obs.metrics).
+_BATCH_SIZE_EDGES = (1.0, 8.0, 64.0, 512.0, 4096.0)
 
 
 @dataclass(frozen=True)
@@ -222,29 +227,83 @@ class BatchSolverEngine:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def solve(self, scenario: "Scenario") -> OptimalDecision:
-        """Solve one scenario (memoised; same answer as the batch path)."""
+    def solve(
+        self,
+        scenario: "Scenario",
+        obs: Optional["ObsContext"] = None,
+    ) -> OptimalDecision:
+        """Solve one scenario (memoised; same answer as the batch path).
+
+        ``obs`` records an ``engine.solve`` span, cache hit/miss
+        counters and a ``decision.eq2`` event; ``None`` (the default)
+        leaves the solve path untouched.
+        """
+        if obs is None:
+            decision, _ = self._solve_one(scenario)
+            return decision
+        span = None
+        if obs.tracer is not None:
+            span = obs.tracer.span("engine.solve")
+            span.__enter__()
+        try:
+            decision, hit = self._solve_one(scenario)
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        if obs.metrics is not None:
+            name = "engine.cache.hits" if hit else "engine.cache.misses"
+            obs.metrics.counter(name).inc()
+        if obs.events is not None:
+            obs.events.emit(
+                "decision.eq2",
+                0.0,
+                distance_m=decision.distance_m,
+                utility=decision.utility,
+                defer=decision.distance_m < decision.contact_distance_m,
+            )
+        return decision
+
+    def _solve_one(
+        self, scenario: "Scenario"
+    ) -> Tuple[OptimalDecision, bool]:
+        """One memoised solve; returns ``(decision, was_cache_hit)``."""
         key = self._key(scenario)
         if key is not None:
             cached = self._cache.get(key)
             if cached is not None:
-                return cached
+                return cached, True
         decision = self._solve_chunk([scenario])[0]
         if key is not None:
             self._cache.put(key, decision)
-        return decision
+        return decision, False
 
     def solve_batch(
         self,
         scenarios: Iterable["Scenario"],
         parallel: Optional[bool] = None,
+        obs: Optional["ObsContext"] = None,
     ) -> BatchResult:
         """Solve N scenarios in vectorised passes.
 
         ``parallel=None`` auto-enables the thread-pool fan-out once the
         batch spans several chunks; ``True``/``False`` force it.
+        ``obs`` records an ``engine.solve_batch`` span plus cache and
+        batch-size metrics; ``None`` leaves the hot path untouched.
         """
         scenario_list = list(scenarios)
+        if obs is not None and obs.tracer is not None:
+            with obs.tracer.span(
+                "engine.solve_batch", n=len(scenario_list)
+            ):
+                return self._solve_batch(scenario_list, parallel, obs)
+        return self._solve_batch(scenario_list, parallel, obs)
+
+    def _solve_batch(
+        self,
+        scenario_list: List["Scenario"],
+        parallel: Optional[bool],
+        obs: Optional["ObsContext"],
+    ) -> BatchResult:
         results: List[Optional[OptimalDecision]] = [None] * len(scenario_list)
         keys = [self._key(s) for s in scenario_list]
         miss_idx = []
@@ -277,10 +336,25 @@ class BatchSolverEngine:
                 if keys[i] is not None:
                     self._cache.put(keys[i], decision)
 
+        if obs is not None and obs.metrics is not None:
+            metrics = obs.metrics
+            hits = len(scenario_list) - len(miss_idx)
+            if hits:
+                metrics.counter("engine.cache.hits").inc(hits)
+            if miss_idx:
+                metrics.counter("engine.cache.misses").inc(len(miss_idx))
+            metrics.counter("engine.batches").inc()
+            metrics.histogram(
+                "engine.batch.size", _BATCH_SIZE_EDGES
+            ).observe(len(scenario_list))
         return BatchResult.from_decisions(results)  # type: ignore[arg-type]
 
     def sweep(
-        self, scenario: "Scenario", param: str, values: Iterable[float]
+        self,
+        scenario: "Scenario",
+        param: str,
+        values: Iterable[float],
+        obs: Optional["ObsContext"] = None,
     ) -> BatchResult:
         """Solve ``scenario`` with ``param`` swept over ``values``.
 
@@ -289,7 +363,7 @@ class BatchSolverEngine:
         dataclass field name).
         """
         variants = [scenario.with_(**{param: value}) for value in values]
-        return self.solve_batch(variants)
+        return self.solve_batch(variants, obs=obs)
 
     def utility_curves(
         self, scenarios: Sequence["Scenario"], n_points: int = 200

@@ -9,9 +9,44 @@ to the paper's values, feeding EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["ExperimentReport", "format_table"]
+from ..core.optimizer import OptimalDecision
+from ..engine.batch import BatchResult
+from ..obs import ObsContext, RunManifest
+
+__all__ = [
+    "ExperimentReport",
+    "format_table",
+    "iter_decisions",
+]
+
+
+def iter_decisions(
+    node: Any, path: Tuple[str, ...] = ()
+) -> Iterator[Tuple[Tuple[str, ...], OptimalDecision]]:
+    """Walk an experiment's ``data`` tree, yielding every decision.
+
+    The tree mixes dicts, sequences, :class:`OptimalDecision` leaves
+    and :class:`BatchResult` columns; each yielded path is the chain of
+    keys/indices leading to the decision.  Shared by the CLI's
+    ``experiment --json`` emitter and the manifest builder below.
+    """
+    from ..api import RunResult  # deferred: api imports the engine layer
+
+    if isinstance(node, RunResult):
+        node = node.outputs
+    if isinstance(node, OptimalDecision):
+        yield path, node
+    elif isinstance(node, BatchResult):
+        for index, decision in enumerate(node):
+            yield (*path, str(index)), decision
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            yield from iter_decisions(value, (*path, str(key)))
+    elif isinstance(node, (list, tuple)):
+        for index, value in enumerate(node):
+            yield from iter_decisions(value, (*path, str(index)))
 
 
 @dataclass
@@ -22,6 +57,8 @@ class ExperimentReport:
     title: str
     lines: List[str] = field(default_factory=list)
     data: Dict[str, Any] = field(default_factory=dict)
+    #: Optional run manifest (populated by :meth:`build_manifest`).
+    manifest: Optional[RunManifest] = None
 
     def add(self, line: str = "") -> None:
         """Append one formatted output line."""
@@ -39,6 +76,39 @@ class ExperimentReport:
     def print(self) -> None:
         """Print the report to stdout (benchmark harness hook)."""
         print(self.as_text())
+
+    def build_manifest(
+        self,
+        config: Optional[Dict[str, Any]] = None,
+        seeds: Optional[Dict[str, int]] = None,
+        obs: Optional[ObsContext] = None,
+    ) -> RunManifest:
+        """Build (and attach) the run manifest for this experiment.
+
+        Outputs summarise the ``data`` tree: the decision count plus
+        every solved ``(path, d_opt)`` pair, so a manifest diff shows
+        exactly which regenerated numbers moved.
+        """
+        decisions = {
+            "/".join(path): decision.distance_m
+            for path, decision in iter_decisions(self.data)
+        }
+        self.manifest = RunManifest.build(
+            kind="experiment",
+            config={
+                "experiment": self.experiment_id,
+                "title": self.title,
+                **(config or {}),
+            },
+            seeds=seeds,
+            outputs={
+                "decisions": len(decisions),
+                "dopt_m": decisions,
+                "data_keys": sorted(str(k) for k in self.data),
+            },
+            obs=obs,
+        )
+        return self.manifest
 
 
 def format_table(

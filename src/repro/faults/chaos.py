@@ -26,14 +26,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..airframe.battery import Battery
-from ..api import scenario as make_scenario
-from ..api import solve
 from ..channel.channel import AerialChannel, airplane_profile, quadrocopter_profile
+from ..core.scenario import airplane_scenario, quadrocopter_scenario
 from ..core.strategies import replan_after_interruption
 from ..mission.ferry import TransferCheckpoint
 from ..net.link import WirelessLink
 from ..net.packets import ImageBatch
 from ..net.retry import ExponentialBackoff, RetryPolicy
+from ..obs import ObsContext, RunManifest
 from ..perf import PerfTelemetry
 from ..phy.rate_control import scalar_controller
 from ..sim.kernel import Simulator
@@ -42,11 +42,16 @@ from .injector import FaultInjector
 from .outage import OutageSchedule
 from .plan import FaultPlan
 
-__all__ = ["ChaosResult", "run_chaos"]
+__all__ = ["ChaosResult", "chaos_manifest", "run_chaos"]
 
 _PROFILES = {
     "airplane": airplane_profile,
     "quadrocopter": quadrocopter_profile,
+}
+
+_SCENARIOS = {
+    "airplane": airplane_scenario,
+    "quadrocopter": quadrocopter_scenario,
 }
 
 
@@ -118,6 +123,7 @@ def run_chaos(
     idle_timeout_s: float = 2.0,
     max_resumes: int = 8,
     telemetry: Optional[PerfTelemetry] = None,
+    obs: Optional[ObsContext] = None,
 ) -> ChaosResult:
     """Execute one solved mission under a fault plan; fully deterministic.
 
@@ -126,21 +132,26 @@ def run_chaos(
     transfer engine runs (delivery is negligible until close anyway,
     which is the paper's whole point), transmitting until ``Mdata`` is
     delivered, the deadline passes, or the resume budget is exhausted.
+
+    ``obs`` (use a *deterministic* context — the replay byte-identity
+    guarantee forbids wall clocks here) records spans, fault/retry/
+    checkpoint events and ``chaos.*`` metrics.
     """
     if scenario_name not in _PROFILES:
         raise ValueError(
             f"unknown scenario {scenario_name!r}; choose from "
             f"{sorted(_PROFILES)}"
         )
-    scn = make_scenario(scenario_name)
-    decision = solve(scn)
+    scn = _SCENARIOS[scenario_name]()
+    decision = scn.solve()
     dopt = decision.distance_m
     speed = scn.cruise_speed_mps
     total_bytes = int(round(scn.data_bits / 8))
+    events = obs.events if obs is not None else None
 
     streams = RandomStreams(seed=seed)
     tel = telemetry if telemetry is not None else PerfTelemetry()
-    sim = Simulator()
+    sim = Simulator(obs=obs)
     channel = AerialChannel(_PROFILES[scenario_name](), streams)
     link = WirelessLink(
         channel,
@@ -152,7 +163,9 @@ def run_chaos(
     batch = ImageBatch(batch_id=0, total_bytes=total_bytes)
     battery = Battery(scn.platform)
 
-    injector = FaultInjector(sim, plan, streams=streams, telemetry=tel)
+    injector = FaultInjector(
+        sim, plan, streams=streams, telemetry=tel, events=events
+    )
     injector.attach_battery(battery)
 
     # Mutable geometry: ship from d_start (at t_start) towards floor_m at
@@ -203,6 +216,13 @@ def run_chaos(
                         reason="node_loss",
                     )
                 )
+                if events is not None:
+                    events.emit(
+                        "transfer.checkpoint",
+                        now,
+                        reason="node_loss",
+                        delivered_bytes=batch.delivered_bytes,
+                    )
                 if batch.remaining_bytes > 0:
                     degraded = replan_after_interruption(
                         scn,
@@ -212,6 +232,13 @@ def run_chaos(
                         deadline_s=deadline_s,
                     )
                     replans.append(degraded.to_dict())
+                    if events is not None:
+                        events.emit(
+                            "decision.eq2",
+                            now,
+                            distance_m=degraded.dopt_m,
+                            replan=True,
+                        )
                     geometry["t_start"] = now
                     geometry["d_start"] = max(d_now, scn.min_distance_m)
                     geometry["floor_m"] = degraded.dopt_m
@@ -227,6 +254,13 @@ def run_chaos(
                         reason="stalled",
                     )
                 )
+                if events is not None:
+                    events.emit(
+                        "transfer.checkpoint",
+                        now,
+                        reason="stalled",
+                        delivered_bytes=batch.delivered_bytes,
+                    )
                 if state["resumes"] >= max_resumes:
                     state["finish_s"] = now
                     return
@@ -237,6 +271,8 @@ def run_chaos(
                 delay = backoff.next_delay_s()
                 state["blackout_retries"] += 1
                 state["blackout_wait_s"] += delay
+                if events is not None:
+                    events.emit("retry.backoff", now, delay_s=delay)
                 now += delay
                 yield delay
                 continue
@@ -257,6 +293,20 @@ def run_chaos(
     sim.spawn(transfer_process())
     sim.run()
 
+    if obs is not None and obs.metrics is not None:
+        metrics = obs.metrics
+        metrics.counter("chaos.resumes").inc(state["resumes"])
+        metrics.counter("chaos.blackout_retries").inc(
+            state["blackout_retries"]
+        )
+        metrics.counter("chaos.checkpoints").inc(len(checkpoints))
+        metrics.counter("chaos.replans").inc(len(replans))
+        metrics.gauge("chaos.delivered_fraction").set(
+            batch.delivered_bytes / total_bytes if total_bytes else 0.0
+        )
+        for _, kind in injector.fired:
+            metrics.counter(f"faults.{kind}").inc()
+
     return ChaosResult(
         scenario=scenario_name,
         plan_name=plan.name,
@@ -275,4 +325,33 @@ def run_chaos(
         counters=dict(tel.counters),
         battery_fraction=battery.fraction,
         deadline_s=deadline_s,
+    )
+
+
+def chaos_manifest(
+    result: ChaosResult,
+    plan: FaultPlan,
+    obs: Optional[ObsContext] = None,
+    git_rev: Optional[str] = "auto",
+) -> RunManifest:
+    """The one manifest builder for chaos runs.
+
+    Both ``repro chaos --json`` and :func:`repro.api.chaos` serialise
+    through this function, so the CLI's stdout and the library's
+    :class:`~repro.obs.manifest.RunManifest` are byte-identical for the
+    same inputs — and replays of a deterministic run still compare
+    equal with ``cmp``.
+    """
+    return RunManifest.build(
+        kind="chaos",
+        config={
+            "scenario": result.scenario,
+            "plan": plan.name,
+            "faults": len(plan.faults),
+            "deadline_s": result.deadline_s,
+        },
+        seeds={"chaos": result.seed},
+        outputs=result.to_dict(),
+        obs=obs,
+        git_rev=git_rev,
     )

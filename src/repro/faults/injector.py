@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..core.failure import failure_rate_from_platform
+from ..obs.events import EventLog
 from ..perf import PerfTelemetry
 from ..sim.kernel import Simulator
 from ..sim.random import RandomStreams
@@ -67,11 +68,13 @@ class FaultInjector:
         plan: FaultPlan,
         streams: Optional[RandomStreams] = None,
         telemetry: Optional[PerfTelemetry] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         self.sim = sim
         self.plan = plan
         self.streams = streams
         self.telemetry = telemetry
+        self.events = events
         self.node_lost = False
         self.node_lost_at_s: Optional[float] = None
         #: ``(time_s, kind)`` log of every fault that fired, in order.
@@ -127,6 +130,8 @@ class FaultInjector:
         self.fired.append((self.sim.now, kind))
         if self.telemetry is not None:
             self.telemetry.count(f"faults.{kind}")
+        if self.events is not None:
+            self.events.emit(f"fault.{kind}", self.sim.now)
 
     def _make_gps_onset(self, spec: FaultSpec) -> Callable[[], None]:
         def onset() -> None:

@@ -25,7 +25,6 @@ engine — the baseline for the speedup and agreement numbers.
 from __future__ import annotations
 
 import os
-import time
 from concurrent import futures
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -45,7 +44,8 @@ from ..faults.plan import FaultPlan
 from ..net.batchlink import BatchWirelessLink
 from ..net.iperf import IperfSession
 from ..net.link import WirelessLink
-from ..perf import PerfTelemetry
+from ..obs import ObsContext
+from ..perf import PerfTelemetry, wall_clock
 from ..phy.rate_control import batch_controller, scalar_controller
 from ..sim.monitor import SummaryStats
 from ..sim.random import RandomStreams
@@ -226,15 +226,22 @@ def _run_replica_block(
     config: BatchCampaignConfig,
     shard: int,
     distances_m: Tuple[float, ...],
-) -> Tuple[Dict[float, List[float]], PerfTelemetry]:
+    collect_obs: bool = False,
+) -> Tuple[Dict[float, List[float]], PerfTelemetry, Optional[ObsContext]]:
     """One pool task: a block of replicas stepped in one batched link.
 
     ``distances_m`` holds one entry per replica — replicas of different
     distances ride in the same batch.  Top-level (picklable) so it can
     cross a process boundary; also the sequential fallback path.
+
+    ``collect_obs`` makes the worker fill a *deterministic* obs context
+    (span per shard, ``campaign.*`` metrics) shipped back to the parent
+    for merging — deterministic so the merged summary is invariant to
+    worker count and pool completion order.
     """
     n_replicas = len(distances_m)
     telemetry = PerfTelemetry()
+    obs = ObsContext.enabled(deterministic=True) if collect_obs else None
     streams = _shard_streams(config, shard)
     channel = BatchAerialChannel(
         profile_by_name(config.profile), n_replicas, streams
@@ -254,6 +261,7 @@ def _run_replica_block(
     next_report = interval
     interval_bytes = np.zeros(n_replicas, dtype=np.int64)
     rows: List[np.ndarray] = []
+    steps = 0
     while now < end:
         step = link.step(
             now,
@@ -262,6 +270,7 @@ def _run_replica_block(
         )
         interval_bytes += step.bytes_delivered
         now += link.epoch_s
+        steps += 1
         if now >= next_report - 1e-12:
             rows.append(interval_bytes * 8.0 / interval)
             interval_bytes = np.zeros(n_replicas, dtype=np.int64)
@@ -275,15 +284,24 @@ def _run_replica_block(
     telemetry.count("mean_cache_hits", channel.mean_cache_hits)
     telemetry.count("mean_cache_misses", channel.mean_cache_misses)
     telemetry.count("shards")
-    return samples, telemetry
+    if obs is not None:
+        with obs.tracer.span(
+            "campaign.shard", sim_start_s=0.0, shard=shard
+        ) as handle:
+            handle.end_sim(now)
+        obs.metrics.counter("campaign.epochs").inc(steps * n_replicas)
+        obs.metrics.counter("campaign.samples").inc(
+            sum(len(v) for v in samples.values())
+        )
+    return samples, telemetry, obs
 
 
 def _run_block_task(
     args: Tuple,
-) -> Tuple[Dict[float, List[float]], PerfTelemetry]:
+) -> Tuple[Dict[float, List[float]], PerfTelemetry, Optional[ObsContext]]:
     """Unpack helper for ``Executor.map`` over shard tuples."""
-    config, shard, distances_m = args
-    return _run_replica_block(config, shard, distances_m)
+    config, shard, distances_m, collect_obs = args
+    return _run_replica_block(config, shard, distances_m, collect_obs)
 
 
 # ----------------------------------------------------------------------
@@ -294,6 +312,7 @@ def run_campaign(
     config: BatchCampaignConfig,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    obs: Optional[ObsContext] = None,
 ) -> BatchCampaignResult:
     """Run the campaign on the replica-batched engine.
 
@@ -301,77 +320,135 @@ def run_campaign(
     several shards and more than one CPU; ``True``/``False`` force it.
     If the pool cannot be started (restricted environments), the runner
     degrades to the sequential path and still returns full results.
+
+    ``obs`` collects per-shard spans and ``campaign.*`` metrics: each
+    worker fills a deterministic context, the parent merges them all
+    into ``obs``, so the aggregate is invariant to worker count.
     """
-    t_start = time.perf_counter()
+    t_start = wall_clock()
+    run_span = None
+    if obs is not None and obs.tracer is not None:
+        run_span = obs.tracer.span("campaign.run", sim_start_s=0.0)
+        run_span.__enter__()
     tasks = [
-        (config, shard, distances)
+        (config, shard, distances, obs is not None)
         for shard, distances in config.shards()
     ]
     if parallel is None:
         parallel = len(tasks) > 1 and (os.cpu_count() or 1) > 1
     outputs = None
-    if parallel and len(tasks) > 1:
-        try:
-            with futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-                outputs = list(pool.map(_run_block_task, tasks))
-        except (OSError, PermissionError, futures.process.BrokenProcessPool):
-            outputs = None  # pool unavailable: fall through to sequential
-    if outputs is None:
-        outputs = [_run_block_task(task) for task in tasks]
+    try:
+        if parallel and len(tasks) > 1:
+            try:
+                with futures.ProcessPoolExecutor(
+                    max_workers=max_workers
+                ) as pool:
+                    outputs = list(pool.map(_run_block_task, tasks))
+            except (
+                OSError, PermissionError, futures.process.BrokenProcessPool
+            ):
+                outputs = None  # pool unavailable: fall back to sequential
+        if outputs is None:
+            outputs = [_run_block_task(task) for task in tasks]
+    finally:
+        if run_span is not None:
+            run_span.annotate(shards=len(tasks))
+            run_span.end_sim(config.duration_s)
+            run_span.__exit__(None, None, None)
 
     samples: Dict[float, List[float]] = {}
-    telemetry = PerfTelemetry.merged(tel for _, tel in outputs)
-    for shard_samples, _ in outputs:
+    telemetry = PerfTelemetry.merged(tel for _, tel, _ in outputs)
+    for shard_samples, _, _ in outputs:
         for distance, readings in shard_samples.items():
             samples.setdefault(distance, []).extend(readings)
+    if obs is not None:
+        obs.merge(ObsContext.merged(part for _, _, part in outputs))
+        _record_campaign_totals(obs, config)
     return BatchCampaignResult(
         samples=samples,
         telemetry=telemetry,
-        wall_s=time.perf_counter() - t_start,
+        wall_s=wall_clock() - t_start,
         n_replicas=config.n_replicas,
     )
+
+
+def _record_campaign_totals(
+    obs: ObsContext, config: BatchCampaignConfig
+) -> None:
+    """Parent-side ``campaign.*`` metrics, shared by both engines.
+
+    Emitting the same metric names from :func:`run_campaign` and
+    :func:`run_scalar_reference` is the parity contract the RL105-style
+    metric-name test pins: the batch engine must not grow observability
+    the scalar baseline lacks (or vice versa).
+    """
+    if obs.metrics is not None:
+        obs.metrics.counter("campaign.replicas").inc(
+            len(config.distances_m) * config.n_replicas
+        )
+        obs.metrics.gauge("campaign.duration_s").set(config.duration_s)
 
 
 def run_scalar_reference(
     config: BatchCampaignConfig,
     n_replicas: Optional[int] = None,
+    obs: Optional[ObsContext] = None,
 ) -> BatchCampaignResult:
     """The identical workload on the scalar engine (the baseline).
 
     ``n_replicas`` can shrink the replica count so benchmarks can time
     a scalar slice and extrapolate instead of paying the full cost.
+    ``obs`` records the same ``campaign.*`` metric names as
+    :func:`run_campaign` — the scalar↔batch parity contract.
     """
     if n_replicas is not None:
         config = replace(config, n_replicas=n_replicas)
-    t_start = time.perf_counter()
+    t_start = wall_clock()
+    run_span = None
+    if obs is not None and obs.tracer is not None:
+        run_span = obs.tracer.span("campaign.run", sim_start_s=0.0)
+        run_span.__enter__()
     samples: Dict[float, List[float]] = {}
     epochs = 0
-    for distance in config.distances_m:
-        pooled = samples.setdefault(float(distance), [])
-        for replica in range(config.n_replicas):
-            streams = RandomStreams(config.seed).fork(replica + 1)
-            link = WirelessLink(
-                AerialChannel(profile_by_name(config.profile), streams),
-                scalar_controller(config.controller),
-                streams=streams,
-                epoch_s=config.epoch_s,
-            )
-            session = IperfSession(link, config.report_interval_s)
-            readings = session.run(
-                0.0,
-                config.duration_s,
-                lambda t: float(distance),
-                (lambda t: config.relative_speed_mps)
-                if config.relative_speed_mps
-                else None,
-            )
-            pooled.extend(readings.values.tolist())
-            epochs += int(round(config.duration_s / config.epoch_s))
+    try:
+        for distance in config.distances_m:
+            pooled = samples.setdefault(float(distance), [])
+            for replica in range(config.n_replicas):
+                streams = RandomStreams(config.seed).fork(replica + 1)
+                link = WirelessLink(
+                    AerialChannel(profile_by_name(config.profile), streams),
+                    scalar_controller(config.controller),
+                    streams=streams,
+                    epoch_s=config.epoch_s,
+                )
+                session = IperfSession(link, config.report_interval_s)
+                readings = session.run(
+                    0.0,
+                    config.duration_s,
+                    lambda t: float(distance),
+                    (lambda t: config.relative_speed_mps)
+                    if config.relative_speed_mps
+                    else None,
+                )
+                pooled.extend(readings.values.tolist())
+                epochs += int(round(config.duration_s / config.epoch_s))
+    finally:
+        if run_span is not None:
+            run_span.annotate(shards=1)
+            run_span.end_sim(config.duration_s)
+            run_span.__exit__(None, None, None)
     telemetry = PerfTelemetry()
     telemetry.count("replica_epochs", epochs)
+    if obs is not None:
+        if obs.metrics is not None:
+            obs.metrics.counter("campaign.epochs").inc(epochs)
+            obs.metrics.counter("campaign.samples").inc(
+                sum(len(v) for v in samples.values())
+            )
+        _record_campaign_totals(obs, config)
     return BatchCampaignResult(
         samples=samples,
         telemetry=telemetry,
-        wall_s=time.perf_counter() - t_start,
+        wall_s=wall_clock() - t_start,
         n_replicas=config.n_replicas,
     )

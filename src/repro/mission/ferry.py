@@ -21,12 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..api import (
-    OptimalDecision,
+from ..core.optimizer import OptimalDecision
+from ..core.scenario import (
     Scenario,
     airplane_scenario,
     quadrocopter_scenario,
-    solve,
 )
 from ..geo.coords import EnuPoint
 from ..net.link import WirelessLink
@@ -315,7 +314,7 @@ class FerryChainPlanner:
         silent = max(0.0, distance - d0)
         # Memoised engine solve: repeated legs over the same geometry
         # (every episode of a SAR sweep) cost one cache lookup.
-        decision = solve(scenario.with_(d0_m=d0, data_bits=data_bits))
+        decision = scenario.with_(d0_m=d0, data_bits=data_bits).solve()
         return HopPlan(
             carrier=carrier,
             from_position=frm,

@@ -26,7 +26,6 @@ index instead of a Python call chain.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -35,7 +34,7 @@ import numpy as np
 from ..channel.channel import BatchAerialChannel
 from ..faults.outage import BatchOutageSchedule
 from ..mac.aggregation import AmpduConfig, AmpduLink
-from ..perf import PerfTelemetry
+from ..perf import PerfTelemetry, wall_clock
 from ..phy.error import ErrorModel
 from ..phy.mcs import MCS_TABLE
 from ..phy.phy80211n import PhyConfig
@@ -180,9 +179,10 @@ class BatchWirelessLink:
                 now_s, distance_m, relative_speed_mps, dt, backlog_bytes
             )
         tel = self.telemetry
-        # Wall-clock read is perf instrumentation only (charged to
-        # PerfTelemetry stages); simulation behaviour never depends on it.
-        clock = time.perf_counter  # reprolint: disable=RL102
+        # Wall-clock reads are perf instrumentation only (charged to
+        # PerfTelemetry stages); simulation behaviour never depends on
+        # them, hence the sanctioned repro.perf.wall_clock.
+        clock = wall_clock
         backlog = self._as_backlog(backlog_bytes)
 
         t0 = clock() if tel is not None else 0.0

@@ -1,0 +1,117 @@
+"""Structured event log: kernel events, faults, retries, decisions.
+
+:class:`EventLog` is an append-only, bounded record of the *discrete
+moments* of a run, each an :class:`Event` of ``(time_s, kind,
+fields)`` where ``time_s`` is **simulated** time (wall time never
+appears here, so deterministic pipelines stay byte-identical):
+
+* ``fault.<kind>`` — a fault fired (``faults.link_outage``, ...);
+* ``retry.backoff`` — a blackout retry slept for ``delay_s``;
+* ``transfer.checkpoint`` — a transfer checkpointed (stall/node loss);
+* ``decision.eq2`` — an Eq. 2 now-or-later decision was taken;
+* ``kernel.run`` — the event loop drained (with the event count).
+
+The log is bounded (``max_events``, default 4096) so hot loops cannot
+blow up memory; overflow is *counted*, never silent (``dropped``).
+Logs are picklable and mergeable: :meth:`merge` interleaves by
+``(time_s, kind, fields)`` so a merged log is independent of which
+worker recorded which event.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Event", "EventLog"]
+
+#: Default bound on retained events per producer.
+DEFAULT_MAX_EVENTS = 4096
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured moment: simulated time, kind, JSON-ready fields."""
+
+    time_s: float
+    kind: str
+    fields: Tuple[Tuple[str, object], ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable record."""
+        return {"time_s": self.time_s, "kind": self.kind,
+                **dict(self.fields)}
+
+    @property
+    def sort_key(self) -> Tuple[float, str, str]:
+        """Deterministic interleave order for merged logs."""
+        return (self.time_s, self.kind, json.dumps(self.fields))
+
+
+class EventLog:
+    """Bounded, mergeable, deterministic event record."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = max_events
+        self.events: List[Event] = []
+        #: Events discarded because the bound was hit.
+        self.dropped: int = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, time_s: float, **fields: object) -> None:
+        """Record one event at simulated ``time_s``."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            Event(
+                time_s=float(time_s),
+                kind=kind,
+                fields=tuple(sorted(fields.items())),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def kinds(self) -> Dict[str, int]:
+        """``{kind: count}`` over retained events, sorted by kind."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "EventLog") -> "EventLog":
+        """Interleave another log into this one (in place).
+
+        The result is sorted by ``(time_s, kind, fields)``, so merging
+        per-shard logs yields the same sequence no matter how events
+        were distributed across workers.  The bound applies to
+        *emission* per producer; merged logs may hold the union.
+        """
+        self.events = sorted(
+            self.events + other.events, key=lambda e: e.sort_key
+        )
+        self.dropped += other.dropped
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable[Optional["EventLog"]]) -> "EventLog":
+        """A fresh log interleaving every part (None-safe)."""
+        total = cls()
+        for part in parts:
+            if part is not None:
+                total.merge(part)
+        return total
+
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Every retained event as a JSON-ready mapping, in order."""
+        return [event.to_dict() for event in self.events]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EventLog({len(self.events)} events, {self.dropped} dropped)"

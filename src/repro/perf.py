@@ -16,7 +16,15 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, Optional
 
-__all__ = ["PerfTelemetry", "StageTimer"]
+__all__ = ["PerfTelemetry", "StageTimer", "wall_clock"]
+
+#: The one sanctioned wall-clock for performance instrumentation.
+#: Everything outside :mod:`repro.perf` and :mod:`repro.obs` must read
+#: wall time through this alias, never through a bare
+#: ``time.perf_counter()`` — reprolint rule RL106 enforces it, keeping
+#: every wall-clock read greppable and the simulated-time purity rule
+#: (RL102) easy to audit.
+wall_clock = time.perf_counter
 
 
 class PerfTelemetry:
@@ -80,6 +88,10 @@ class PerfTelemetry:
             "counters": dict(sorted(self.counters.items())),
             "total_stage_seconds": sum(self.stage_seconds.values()),
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Alias of :meth:`as_dict` (the uniform serialisation name)."""
+        return self.as_dict()
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "PerfTelemetry":

@@ -24,7 +24,10 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import ObsContext
 
 __all__ = [
     "Event",
@@ -77,12 +80,21 @@ class Simulator:
     [1.0, 2.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        *,
+        obs: Optional["ObsContext"] = None,
+    ) -> None:
         self._now = float(start_time)
         self._queue: List[Event] = []
         self._counter = itertools.count()
         self._running = False
         self._processed = 0
+        #: Optional observability context; instrumentation is charged
+        #: once per :meth:`run` (never per event), so a ``None`` context
+        #: keeps the event loop's instruction stream unchanged.
+        self.obs = obs
 
     # ------------------------------------------------------------------
     # Clock
@@ -186,6 +198,12 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        obs = self.obs
+        span = None
+        if obs is not None and obs.tracer is not None:
+            span = obs.tracer.span("kernel.run", sim_start_s=self._now)
+            span.__enter__()
+        start_processed = self._processed
         try:
             while True:
                 event = self._next_live()
@@ -204,6 +222,16 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            if obs is not None:
+                delta = self._processed - start_processed
+                if span is not None:
+                    span.annotate(events=delta)
+                    span.end_sim(self._now)
+                    span.__exit__(None, None, None)
+                if obs.metrics is not None:
+                    obs.metrics.counter("kernel.events_processed").inc(delta)
+                if obs.events is not None:
+                    obs.events.emit("kernel.run", self._now, events=delta)
 
     def step(self) -> bool:
         """Execute exactly one (non-cancelled) event.

@@ -40,7 +40,9 @@ def test_json_report_shape(capsys):
     assert main(["lint", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["ok"] is True
-    assert payload["rules"] == ["RL101", "RL102", "RL103", "RL104", "RL105"]
+    assert payload["rules"] == [
+        "RL101", "RL102", "RL103", "RL104", "RL105", "RL106",
+    ]
     assert payload["checked_files"] > 50
     assert payload["counts"]["new"] == 0
     assert payload["counts"]["parity_pairs"] >= 5

@@ -1,0 +1,99 @@
+"""Campaign-level observability invariants.
+
+Two guarantees ride on the worker design in
+``repro.measurements.batch``: workers always record into *deterministic*
+ObsContexts merged by the parent, so the merged trace/metrics/events are
+invariant under worker count; and the scalar reference path emits the
+same ``campaign.*`` metric names as the batched path, so dashboards and
+the parity check in ``metric_name_mismatches`` stay honest.
+"""
+
+import pytest
+
+from repro.measurements.batch import (
+    BatchCampaignConfig,
+    run_campaign,
+    run_scalar_reference,
+)
+from repro.obs import ObsContext, metric_name_mismatches
+
+# Small enough to run in well under a second, sharded enough (block_size
+# forces several (distance, replica) blocks) that parallel and
+# sequential paths genuinely diverge in execution order.
+CONFIG = BatchCampaignConfig(
+    profile="airplane",
+    controller="arf",
+    distances_m=(80.0, 160.0),
+    n_replicas=4,
+    duration_s=2.0,
+    seed=3,
+    block_size=3,
+)
+
+
+def _campaign_obs(parallel, max_workers=None):
+    obs = ObsContext.enabled(deterministic=True)
+    run_campaign(CONFIG, parallel=parallel, max_workers=max_workers, obs=obs)
+    return obs
+
+
+class TestWorkerCountInvariance:
+    def test_sequential_matches_parallel(self):
+        sequential = _campaign_obs(parallel=False)
+        pooled = _campaign_obs(parallel=True, max_workers=2)
+        assert (
+            sequential.tracer.deterministic_summary()
+            == pooled.tracer.deterministic_summary()
+        )
+        assert sequential.metrics.to_dict() == pooled.metrics.to_dict()
+        assert sequential.events.to_dicts() == pooled.events.to_dicts()
+
+    def test_worker_count_does_not_matter(self):
+        two = _campaign_obs(parallel=True, max_workers=2)
+        four = _campaign_obs(parallel=True, max_workers=4)
+        assert two.metrics.to_dict() == four.metrics.to_dict()
+        assert (
+            two.tracer.deterministic_summary()
+            == four.tracer.deterministic_summary()
+        )
+
+    def test_expected_totals(self):
+        obs = _campaign_obs(parallel=False)
+        n_cases = len(CONFIG.distances_m) * CONFIG.n_replicas
+        assert obs.metrics.value("campaign.replicas") == n_cases
+        assert obs.metrics.value("campaign.duration_s") == CONFIG.duration_s
+        epochs_per_case = round(CONFIG.duration_s / CONFIG.epoch_s)
+        assert (
+            obs.metrics.value("campaign.epochs")
+            == epochs_per_case * n_cases
+        )
+
+
+class TestScalarBatchParity:
+    def test_campaign_metric_names_match(self):
+        batched = ObsContext.enabled(deterministic=True)
+        run_campaign(CONFIG, parallel=False, obs=batched)
+        scalar = ObsContext.enabled(deterministic=True)
+        run_scalar_reference(CONFIG, n_replicas=2, obs=scalar)
+        mismatches = metric_name_mismatches(
+            batched.metrics, scalar.metrics, prefix="campaign."
+        )
+        assert mismatches == []
+
+    def test_scalar_reference_emits_totals(self):
+        obs = ObsContext.enabled(deterministic=True)
+        run_scalar_reference(CONFIG, n_replicas=2, obs=obs)
+        assert obs.metrics.value("campaign.duration_s") == CONFIG.duration_s
+        assert obs.metrics.value("campaign.epochs") > 0
+
+    def test_both_paths_open_campaign_run_span(self):
+        batched = ObsContext.enabled(deterministic=True)
+        run_campaign(CONFIG, parallel=False, obs=batched)
+        scalar = ObsContext.enabled(deterministic=True)
+        run_scalar_reference(CONFIG, n_replicas=2, obs=scalar)
+        for ctx in (batched, scalar):
+            summary = ctx.tracer.deterministic_summary()
+            assert summary["campaign.run"]["count"] == 1
+            assert summary["campaign.run"]["sim_s"] == pytest.approx(
+                CONFIG.duration_s
+            )

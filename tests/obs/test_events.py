@@ -1,0 +1,56 @@
+"""Tests for the structured event log."""
+
+import pickle
+
+from repro.obs import EventLog
+
+
+class TestEmit:
+    def test_emit_records_fields(self):
+        log = EventLog()
+        log.emit("fault.link_outage", 20.0, duration_s=4.0)
+        (record,) = log.to_dicts()
+        assert record["kind"] == "fault.link_outage"
+        assert record["time_s"] == 20.0
+        assert record["duration_s"] == 4.0
+
+    def test_kinds_histogram(self):
+        log = EventLog()
+        log.emit("a", 1.0)
+        log.emit("a", 2.0)
+        log.emit("b", 3.0)
+        assert log.kinds() == {"a": 2, "b": 1}
+
+    def test_bounded_with_drop_counter(self):
+        log = EventLog(max_events=2)
+        for i in range(5):
+            log.emit("tick", float(i))
+        assert len(log.to_dicts()) == 2
+        assert log.dropped == 3
+
+
+class TestMerge:
+    def test_merge_interleaves_by_time(self):
+        left, right = EventLog(), EventLog()
+        left.emit("a", 3.0)
+        right.emit("b", 1.0)
+        left.merge(right)
+        times = [r["time_s"] for r in left.to_dicts()]
+        assert times == [1.0, 3.0]
+
+    def test_merge_is_order_invariant(self):
+        def make(*stamps):
+            log = EventLog()
+            for kind, t in stamps:
+                log.emit(kind, t)
+            return log
+
+        ab = EventLog.merged([make(("a", 1.0)), make(("b", 1.0))])
+        ba = EventLog.merged([make(("b", 1.0)), make(("a", 1.0))])
+        assert ab.to_dicts() == ba.to_dicts()
+
+    def test_pickle_round_trip(self):
+        log = EventLog()
+        log.emit("a", 1.0, n=2)
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.to_dicts() == log.to_dicts()

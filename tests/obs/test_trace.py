@@ -1,0 +1,118 @@
+"""Tests for the span tracer."""
+
+import pickle
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestSpans:
+    def test_span_records_name_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("engine.solve", n=3) as span:
+            span.annotate(cache_hits=2)
+        assert len(tracer) == 1
+        (record,) = tracer.to_dicts()
+        assert record["name"] == "engine.solve"
+        assert record["attrs"] == {"n": 3, "cache_hits": 2}
+        assert record["wall_s"] >= 0.0
+
+    def test_nested_spans_link_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        records = {r["name"]: r for r in tracer.to_dicts()}
+        assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+        assert records["outer"]["parent_id"] is None
+        assert outer is not inner
+
+    def test_simulated_interval(self):
+        tracer = Tracer()
+        with tracer.span("kernel.run") as span:
+            span.end_sim(12.5)
+        (record,) = tracer.to_dicts()
+        assert record["sim_end_s"] == 12.5
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer) == 1
+
+    def test_summary_groups_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("a"):
+                pass
+        with tracer.span("b"):
+            pass
+        summary = tracer.summary()
+        assert list(summary) == ["a", "b"]  # name-sorted
+        assert summary["a"]["count"] == 3
+        assert summary["b"]["count"] == 1
+
+
+class TestDeterministicTracer:
+    def test_no_clock_means_zero_wall(self):
+        tracer = Tracer(clock=None)
+        with tracer.span("engine.solve"):
+            pass
+        (record,) = tracer.to_dicts()
+        assert record["wall_s"] == 0.0
+
+    def test_deterministic_summary_drops_wall(self):
+        tracer = Tracer(clock=None)
+        with tracer.span("a"):
+            pass
+        summary = tracer.deterministic_summary()
+        assert "wall_s" not in summary["a"]
+        assert summary["a"]["count"] == 1
+
+    def test_two_runs_produce_identical_dicts(self):
+        def run():
+            tracer = Tracer(clock=None)
+            with tracer.span("outer", n=1):
+                with tracer.span("inner") as span:
+                    span.end_sim(3.0)
+            return tracer.to_dicts()
+
+        assert run() == run()
+
+
+class TestMerge:
+    def _traced(self, *names):
+        tracer = Tracer(clock=None)
+        for name in names:
+            with tracer.span(name):
+                pass
+        return tracer
+
+    def test_merge_concatenates_and_remaps_ids(self):
+        left = self._traced("a", "b")
+        right = self._traced("c")
+        left.merge(right)
+        records = left.to_dicts()
+        assert [r["name"] for r in records] == ["a", "b", "c"]
+        assert len({r["span_id"] for r in records}) == 3
+
+    def test_merged_classmethod_handles_empty(self):
+        merged = Tracer.merged([])
+        assert len(merged) == 0
+
+    def test_merge_preserves_parent_links(self):
+        child_side = Tracer(clock=None)
+        with child_side.span("outer"):
+            with child_side.span("inner"):
+                pass
+        parent = self._traced("first")
+        parent.merge(child_side)
+        records = {r["name"]: r for r in parent.to_dicts()}
+        assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+
+    def test_pickle_round_trip(self):
+        tracer = self._traced("a", "b")
+        clone = pickle.loads(pickle.dumps(tracer))
+        assert clone.to_dicts() == tracer.to_dicts()

@@ -1,0 +1,145 @@
+"""Property-based tests: obs sink merges are associative and lossless.
+
+Campaign workers each fill a private deterministic ObsContext and the
+parent folds them together, so the merge operators carry the whole
+correctness burden: however the pool happens to group shards, the
+merged sinks must come out the same.  Hypothesis generates random sink
+contents and checks that merging is associative, that the identity
+element behaves, and that nothing is lost in the fold.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import EventLog, MetricsRegistry, Tracer
+
+names = st.sampled_from(
+    ["campaign.epochs", "campaign.samples", "engine.batches", "faults.x"]
+)
+counts = st.integers(min_value=0, max_value=1_000)
+gauge_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+times = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+counter_ops = st.lists(st.tuples(names, counts), max_size=8)
+gauge_ops = st.lists(st.tuples(names, gauge_values), max_size=8)
+event_ops = st.lists(st.tuples(names, times), max_size=8)
+span_ops = st.lists(st.tuples(names, times), max_size=6)
+
+
+def build_metrics(counter_entries, gauge_entries):
+    registry = MetricsRegistry()
+    for name, n in counter_entries:
+        registry.counter("c." + name).inc(n)
+    for name, value in gauge_entries:
+        registry.gauge("g." + name).set(value)
+    return registry
+
+
+def build_events(entries):
+    log = EventLog()
+    for kind, time_s in entries:
+        log.emit(kind, time_s)
+    return log
+
+
+def build_tracer(entries):
+    tracer = Tracer(clock=None)
+    for name, sim_end in entries:
+        with tracer.span(name) as span:
+            span.end_sim(sim_end)
+    return tracer
+
+
+metrics_trio = st.tuples(
+    *(st.tuples(counter_ops, gauge_ops) for _ in range(3))
+)
+
+
+class TestMetricsMergeProperties:
+    @given(trio=metrics_trio)
+    @settings(max_examples=50)
+    def test_merge_is_associative(self, trio):
+        def fold_left():
+            acc = build_metrics(*trio[0])
+            acc.merge(build_metrics(*trio[1]))
+            acc.merge(build_metrics(*trio[2]))
+            return acc
+
+        def fold_right():
+            tail = build_metrics(*trio[1])
+            tail.merge(build_metrics(*trio[2]))
+            acc = build_metrics(*trio[0])
+            acc.merge(tail)
+            return acc
+
+        assert fold_left().to_dict() == fold_right().to_dict()
+
+    @given(ops=st.tuples(counter_ops, gauge_ops))
+    def test_empty_registry_is_identity(self, ops):
+        merged = MetricsRegistry.merged(
+            [MetricsRegistry(), build_metrics(*ops), MetricsRegistry()]
+        )
+        assert merged.to_dict() == build_metrics(*ops).to_dict()
+
+    @given(left=counter_ops, right=counter_ops)
+    def test_counters_commute(self, left, right):
+        one = build_metrics(left, [])
+        one.merge(build_metrics(right, []))
+        other = build_metrics(right, [])
+        other.merge(build_metrics(left, []))
+        assert one.to_dict() == other.to_dict()
+
+
+class TestEventMergeProperties:
+    @given(parts=st.lists(event_ops, max_size=4))
+    @settings(max_examples=50)
+    def test_merge_order_invariant(self, parts):
+        forward = EventLog.merged([build_events(p) for p in parts])
+        backward = EventLog.merged(
+            [build_events(p) for p in reversed(parts)]
+        )
+        assert forward.to_dicts() == backward.to_dicts()
+
+    @given(parts=st.lists(event_ops, max_size=4))
+    def test_merge_loses_nothing(self, parts):
+        merged = EventLog.merged([build_events(p) for p in parts])
+        assert len(merged.to_dicts()) == sum(len(p) for p in parts)
+
+    @given(a=event_ops, b=event_ops, c=event_ops)
+    @settings(max_examples=50)
+    def test_merge_is_associative(self, a, b, c):
+        left = build_events(a)
+        left.merge(build_events(b))
+        left.merge(build_events(c))
+        tail = build_events(b)
+        tail.merge(build_events(c))
+        right = build_events(a)
+        right.merge(tail)
+        assert left.to_dicts() == right.to_dicts()
+
+
+class TestTracerMergeProperties:
+    @given(a=span_ops, b=span_ops, c=span_ops)
+    @settings(max_examples=50)
+    def test_deterministic_summary_is_associative(self, a, b, c):
+        left = build_tracer(a)
+        left.merge(build_tracer(b))
+        left.merge(build_tracer(c))
+        tail = build_tracer(b)
+        tail.merge(build_tracer(c))
+        right = build_tracer(a)
+        right.merge(tail)
+        assert (
+            left.deterministic_summary() == right.deterministic_summary()
+        )
+
+    @given(parts=st.lists(span_ops, max_size=4))
+    def test_merge_loses_no_spans(self, parts):
+        merged = Tracer.merged([build_tracer(p) for p in parts])
+        assert len(merged) == sum(len(p) for p in parts)
+        span_ids = {r["span_id"] for r in merged.to_dicts()}
+        assert len(span_ids) == len(merged)

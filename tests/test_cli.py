@@ -147,30 +147,140 @@ class TestBenchCommand:
     def test_bench_json_payload(self, capsys):
         assert main(self.BENCH_ARGS + ["--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["workload"]["n_replicas"] == 4
-        assert payload["workload"]["distances_m"] == [80.0, 240.0]
-        assert payload["speedup"] > 0
-        telemetry = payload["batched"]["telemetry"]
+        assert payload["kind"] == "bench"
+        assert payload["schema_version"] == 1
+        assert payload["config"]["n_replicas"] == 4
+        assert payload["config"]["distances_m"] == [80.0, 240.0]
+        assert payload["seeds"] == {"campaign": 3}
+        outputs = payload["outputs"]
+        assert outputs["speedup"] > 0
+        telemetry = outputs["batched"]["telemetry"]
         for stage in ("channel", "control", "error", "mac",
                       "delivery", "feedback"):
             assert telemetry["stages"][stage]["calls"] > 0
         assert telemetry["counters"]["mean_cache_hits"] > 0
         assert telemetry["counters"]["replica_epochs"] == 2 * 4 * 100
-        assert set(payload["solver_cache"]) == {
+        assert set(outputs["solver_cache"]) == {
             "hits", "misses", "currsize", "maxsize",
         }
-        for rel in payload["median_agreement"].values():
+        for rel in outputs["median_agreement"].values():
             assert rel >= 0.0
+        # Campaign metrics (both engines) land in the manifest.
+        counters = payload["metrics"]["counters"]
+        assert counters["campaign.replicas"] > 0
+        assert counters["campaign.epochs"] > 0
 
     def test_bench_scalar_slice_extrapolates(self, capsys):
         assert main(self.BENCH_ARGS + ["--scalar-replicas", "2",
                                        "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["workload"]["scalar_replicas_timed"] == 2
-        assert payload["scalar"]["wall_s"] == pytest.approx(
-            payload["scalar"]["measured_wall_s"] * 2, rel=1e-9
+        assert payload["config"]["scalar_replicas_timed"] == 2
+        scalar = payload["outputs"]["scalar"]
+        assert scalar["wall_s"] == pytest.approx(
+            scalar["measured_wall_s"] * 2, rel=1e-9
         )
 
     def test_bench_rejects_bad_profile(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--profile", "zeppelin"])
+
+
+class TestSolveObs:
+    def test_trace_prints_digest(self, capsys):
+        assert main(["solve", "airplane", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "engine.solve" in out
+
+    def test_json_stdout_shape_unchanged_with_trace(self, capsys):
+        """--trace must not pollute the pinned --json stdout contract."""
+        assert main(["solve", "airplane", "--json", "--trace"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # still exactly one object
+        assert payload["scenario"] == "airplane"
+        assert "trace:" in captured.err  # digest goes to stderr
+
+    def test_metrics_out_writes_manifest(self, tmp_path, capsys):
+        target = tmp_path / "manifest.json"
+        assert main(["solve", "quadrocopter",
+                     "--metrics-out", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["kind"] == "solve"
+        assert payload["schema_version"] == 1
+        assert payload["config"]["scenario"] == "quadrocopter"
+        assert payload["outputs"]["distance_m"] > 0
+
+    def test_metrics_out_matches_library_manifest(self, tmp_path, capsys):
+        """CLI-written manifests serialise exactly like library ones."""
+        from repro.api import scenario, solve
+        from repro.obs import ObsContext
+
+        target = tmp_path / "cli.json"
+        assert main(["solve", "airplane", "--metrics-out", str(target)]) == 0
+        capsys.readouterr()
+        obs = ObsContext.enabled(deterministic=True)
+        lib = solve(scenario("airplane"), obs=obs).manifest
+        cli_payload = json.loads(target.read_text())
+        lib_payload = json.loads(lib.to_json())
+        # The engine memo cache is process-wide, so hit/miss counters
+        # depend on what ran before; everything else must be identical.
+        cli_payload.pop("metrics")
+        lib_payload.pop("metrics")
+        assert cli_payload == lib_payload
+
+
+class TestObsCommand:
+    def _write_manifest(self, tmp_path):
+        target = tmp_path / "manifest.json"
+        assert main(["solve", "airplane", "--trace",
+                     "--metrics-out", str(target)]) == 0
+        return target
+
+    def test_summarize(self, tmp_path, capsys):
+        target = self._write_manifest(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "kind=solve" in out
+        assert "engine.solve" in out
+
+    def test_summarize_missing_file(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.json")]) == 1
+        assert "no such manifest" in capsys.readouterr().err
+
+    def test_summarize_rejects_schema_drift(self, tmp_path, capsys):
+        target = self._write_manifest(tmp_path)
+        payload = json.loads(target.read_text())
+        payload["schema_version"] += 1
+        target.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(target)]) == 1
+        assert "not a run manifest" in capsys.readouterr().err
+
+
+class TestChaosJsonManifest:
+    CHAOS_ARGS = ["chaos", "quadrocopter", "--outage", "5:3", "--seed", "7"]
+
+    def test_chaos_json_is_a_manifest(self, capsys):
+        assert main(self.CHAOS_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "chaos"
+        assert payload["outputs"]["completed"] is True
+        assert payload["metrics"]["counters"]["faults.link_outage"] == 1
+        assert payload["seeds"] == {"chaos": 7}
+
+    def test_chaos_json_replays_identically(self, capsys):
+        assert main(self.CHAOS_ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.CHAOS_ARGS + ["--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_chaos_json_matches_library_bytes(self, capsys):
+        from repro.api import FaultPlan, chaos
+
+        assert main(self.CHAOS_ARGS + ["--json"]) == 0
+        cli_line = capsys.readouterr().out
+        plan = FaultPlan(name="cli", seed=7).with_outage(5.0, 3.0)
+        result = chaos(plan, scenario_name="quadrocopter", seed=7)
+        assert cli_line == result.manifest.to_json() + "\n"
