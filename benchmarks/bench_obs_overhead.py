@@ -73,14 +73,22 @@ def measure() -> dict:
     sides evenly.  Timing noise on a shared host is one-sided — load
     only ever makes a round *slower* — so the per-side *minimum* over
     many short rounds is the estimator that converges on the true cost;
-    medians and paired ratios both stay hostage to scheduler spikes.
+    the median is reported alongside it as a noise diagnostic (a median
+    far above the minimum means the host was busy, not obs slow).
+
+    The headline ``overhead_fraction`` is clamped at 0.0: residual
+    scheduler noise can make the enabled side *measure* faster than the
+    baseline, but reporting a negative cost would be claiming the
+    instrumentation speeds the solver up.  The raw signed ratio is kept
+    in ``overhead_fraction_raw``, and the per-round walls ship in the
+    report so outliers stay diagnosable after the fact.
     """
     _workload(None)  # warm-up, discarded
     baseline_walls, enabled_walls = [], []
     for _ in range(ROUNDS):
         baseline_walls.append(_timed(None))
         enabled_walls.append(_timed(ObsContext.enabled()))
-    overhead = min(enabled_walls) / min(baseline_walls) - 1.0
+    raw = min(enabled_walls) / min(baseline_walls) - 1.0
     return {
         "workload": {
             "sweep": "rho_per_m",
@@ -90,7 +98,12 @@ def measure() -> dict:
         },
         "baseline_wall_s": min(baseline_walls),
         "enabled_wall_s": min(enabled_walls),
-        "overhead_fraction": overhead,
+        "baseline_median_s": float(np.median(baseline_walls)),
+        "enabled_median_s": float(np.median(enabled_walls)),
+        "baseline_rounds_s": baseline_walls,
+        "enabled_rounds_s": enabled_walls,
+        "overhead_fraction": max(0.0, raw),
+        "overhead_fraction_raw": raw,
         "max_overhead_fraction": MAX_OVERHEAD,
     }
 
@@ -103,7 +116,10 @@ def obs_manifest(report: dict) -> RunManifest:
         outputs={
             key: report[key]
             for key in (
-                "baseline_wall_s", "enabled_wall_s", "overhead_fraction",
+                "baseline_wall_s", "enabled_wall_s",
+                "baseline_median_s", "enabled_median_s",
+                "baseline_rounds_s", "enabled_rounds_s",
+                "overhead_fraction", "overhead_fraction_raw",
                 "max_overhead_fraction",
             )
         },
@@ -115,9 +131,12 @@ def check(report: dict) -> bool:
     print(
         f"obs overhead < {100 * MAX_OVERHEAD:.0f}%: "
         f"{'PASS' if ok else 'FAIL'} "
-        f"({100 * report['overhead_fraction']:+.2f}%: "
-        f"{report['baseline_wall_s']:.3f} s off, "
-        f"{report['enabled_wall_s']:.3f} s on)"
+        f"({100 * report['overhead_fraction']:.2f}% "
+        f"(raw {100 * report['overhead_fraction_raw']:+.2f}%): "
+        f"min {report['baseline_wall_s']:.3f} s off / "
+        f"{report['enabled_wall_s']:.3f} s on, "
+        f"median {report['baseline_median_s']:.3f} s off / "
+        f"{report['enabled_median_s']:.3f} s on)"
     )
     return ok
 

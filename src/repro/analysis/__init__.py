@@ -13,6 +13,9 @@ The rules (see :mod:`repro.analysis.base` and docs/STATIC_ANALYSIS.md):
 * **RL106 wall-clock-discipline** — wall-clock reads outside
   :mod:`repro.perf` / :mod:`repro.obs` go through
   :data:`repro.perf.wall_clock`, never bare ``time.perf_counter``.
+* **RL107 store-atomic-io** — file writes under :mod:`repro.store`
+  flow through the tmp+rename helpers in ``store/atomic.py``, never
+  direct ``open()``/``os.open``/``Path.write_*`` calls.
 
 Run it as ``repro lint [--json] [--rule RL10x ...]``, or from code::
 
@@ -23,10 +26,11 @@ Run it as ``repro lint [--json] [--rule RL10x ...]``, or from code::
 
 from .base import Finding, Rule, all_rules  # noqa: F401
 from .baseline import Baseline  # noqa: F401
-from .checkers import (  # noqa: F401  (import registers RL101-RL104, RL106)
+from .checkers import (  # noqa: F401  (registers RL101-RL104, RL106-RL107)
     FloatEqualityChecker,
     RngDisciplineChecker,
     SimTimePurityChecker,
+    StoreAtomicIoChecker,
     UnitSuffixChecker,
     WallClockDisciplineChecker,
 )

@@ -18,6 +18,8 @@ RL105     batch-twin parity — every ``Batch*`` class mirrors its
 RL106     wall-clock discipline — instrumentation outside
           :mod:`repro.perf` / :mod:`repro.obs` reads time only via
           :data:`repro.perf.wall_clock`
+RL107     store-atomic-io — file writes under :mod:`repro.store` flow
+          through the tmp+rename helpers in ``store/atomic.py``
 ========  ============================================================
 
 Checkers come in two shapes: *module* checkers (see

@@ -1,4 +1,4 @@
-"""Module-level domain checkers: RL101-RL104 and RL106.
+"""Module-level domain checkers: RL101-RL104, RL106 and RL107.
 
 Each checker resolves names through a per-module import-alias map, so
 ``import numpy as np`` / ``from numpy import random as npr`` / ``from
@@ -22,6 +22,7 @@ from .base import (
 __all__ = [
     "RngDisciplineChecker",
     "SimTimePurityChecker",
+    "StoreAtomicIoChecker",
     "UnitSuffixChecker",
     "FloatEqualityChecker",
     "WallClockDisciplineChecker",
@@ -318,6 +319,132 @@ class WallClockDisciplineChecker(ModuleChecker):
                     )
                 )
         return findings
+
+
+# ----------------------------------------------------------------------
+# RL107 — store atomic I/O
+# ----------------------------------------------------------------------
+
+#: The persistent result store's package (module paths are src/repro-
+#: relative POSIX).
+_STORE_PREFIX = "store/"
+
+#: The one module under the store allowed to open files for writing:
+#: it implements the tmp+rename discipline everything else must use.
+_STORE_WRITE_ALLOWED_FILES = {"store/atomic.py"}
+
+#: Low-level calls that create/rename writable files or descriptors.
+_OS_WRITE_CALLS = {"os.open", "os.fdopen", "os.replace", "os.rename"}
+
+#: Path methods that write through a filename in one call.
+_PATH_WRITE_METHODS = {"write_text", "write_bytes"}
+
+
+def _open_mode(node: ast.Call, mode_position: int) -> Optional[str]:
+    """The mode of an ``open``-style call: a constant string, ``"r"``
+    when omitted, or ``None`` when dynamic (unresolvable)."""
+    mode: Optional[ast.AST] = None
+    if len(node.args) > mode_position:
+        mode = node.args[mode_position]
+    else:
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+                break
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _is_write_mode(mode: Optional[str]) -> bool:
+    # A dynamic mode counts as a write: the safe direction for a rule
+    # guarding crash-safety.
+    if mode is None:
+        return True
+    return any(flag in mode for flag in "wax+")
+
+
+@register_checker
+class StoreAtomicIoChecker(ModuleChecker):
+    """RL107: every store write goes through ``repro.store.atomic``.
+
+    The store's crash-safety argument — a reader sees the old entry,
+    the new entry, or nothing, never a torn file — holds only while
+    every byte written under :mod:`repro.store` flows through the
+    tmp+rename helpers in ``store/atomic.py``.  A direct write-mode
+    ``open()``, ``os.open``, or ``Path.write_text`` anywhere else in
+    the package reintroduces the torn-file window the helper exists to
+    close.  Reads stay unrestricted (rename atomicity makes any
+    visible file whole).
+    """
+
+    rule = Rule(
+        id="RL107",
+        name="store-atomic-io",
+        summary=(
+            "file writes under repro.store must go through the "
+            "atomic-write helpers in store/atomic.py, never direct "
+            "open()/os.open/Path.write_* calls"
+        ),
+    )
+
+    def check_module(self, module: ModuleInfo) -> List[Finding]:
+        if not module.path.startswith(_STORE_PREFIX):
+            return []
+        if module.path in _STORE_WRITE_ALLOWED_FILES:
+            return []
+        aliases = _collect_aliases(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._violation(node, aliases)
+            if message is not None:
+                findings.append(module.finding(self.rule.id, node, message))
+        return findings
+
+    @staticmethod
+    def _violation(
+        node: ast.Call, aliases: Dict[str, str]
+    ) -> Optional[str]:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "open"
+            and func.id not in aliases
+        ):
+            # Builtin open(path, mode): mode is the second positional.
+            if _is_write_mode(_open_mode(node, mode_position=1)):
+                return (
+                    "write-mode open() under repro.store; use "
+                    "atomic_write_bytes/atomic_write_text from "
+                    "repro.store.atomic"
+                )
+            return None
+        canonical = _resolve(func, aliases)
+        if canonical in _OS_WRITE_CALLS:
+            return (
+                f"{canonical} under repro.store bypasses the tmp+rename "
+                "discipline; use repro.store.atomic"
+            )
+        if isinstance(func, ast.Attribute) and canonical is None:
+            if func.attr in _PATH_WRITE_METHODS:
+                return (
+                    f".{func.attr}() under repro.store bypasses the "
+                    "tmp+rename discipline; use repro.store.atomic"
+                )
+            if func.attr == "open" and _is_write_mode(
+                # Path.open(mode=...): mode is the first positional.
+                _open_mode(node, mode_position=0)
+            ):
+                return (
+                    "write-mode .open() under repro.store; use "
+                    "atomic_write_bytes/atomic_write_text from "
+                    "repro.store.atomic"
+                )
+        return None
 
 
 # ----------------------------------------------------------------------

@@ -21,6 +21,19 @@ between releases.  The surface is deliberately small:
 All solving goes through the shared :class:`BatchSolverEngine`, so
 repeated instances are memoised process-wide.
 
+Persistent caching
+------------------
+Every entry point takes ``cache=`` / ``refresh=``.  ``cache`` may be a
+:class:`~repro.store.ResultStore`, ``True`` (the default store under
+``REPRO_CACHE_DIR`` / ``~/.cache/repro``), ``False`` (never), or
+``None`` (the default: opt in via ``REPRO_CACHE_DIR`` or
+``REPRO_CACHE=1``; ``REPRO_NO_CACHE=1`` wins).  With a store active,
+requested points are partitioned into cached and missing, only the
+missing ones are dispatched to the engine, and results merge back in
+request order — a fully warm run is bit-identical to the cold run that
+populated the store.  ``refresh=True`` recomputes and overwrites.
+See docs/PERFORMANCE.md ("Result store & incremental sweeps").
+
 Results and the RunResult envelope
 ----------------------------------
 Every entry point returns a versioned :class:`RunResult` envelope:
@@ -169,6 +182,13 @@ def _batch_outputs(result: BatchResult) -> Dict[str, object]:
         outputs["decisions"] = result.to_dicts()
     return outputs
 
+def _resolve_store(cache):
+    """Map the public ``cache=`` knob onto a store (lazy import)."""
+    from .store import resolve_store
+
+    return resolve_store(cache)
+
+
 _BASELINES = {
     "airplane": airplane_scenario,
     "quadrocopter": quadrocopter_scenario,
@@ -200,15 +220,27 @@ def solve(
     engine: Optional[BatchSolverEngine] = None,
     obs: Optional[ObsContext] = None,
     legacy: bool = False,
+    cache=None,
+    refresh: bool = False,
 ) -> RunResult:
     """Solve Eq. 2 for one scenario (memoised).
 
     Returns a :class:`RunResult` delegating to the solved
     :class:`OptimalDecision`; ``legacy=True`` returns the bare decision
     (deprecated).  ``obs`` collects spans/metrics/events into the
-    manifest.
+    manifest.  ``cache``/``refresh`` control the persistent result
+    store (see the module docstring).
     """
-    decision = (engine or default_engine()).solve(scenario, obs=obs)
+    eng = engine or default_engine()
+    store = _resolve_store(cache)
+    if store is not None:
+        from .store import solve_incremental
+
+        decision, _ = solve_incremental(
+            eng, scenario, store, obs=obs, refresh=refresh
+        )
+    else:
+        decision = eng.solve(scenario, obs=obs)
     if legacy:
         _legacy_warning("solve")
         return decision
@@ -227,16 +259,27 @@ def solve_batch(
     parallel: Optional[bool] = None,
     obs: Optional[ObsContext] = None,
     legacy: bool = False,
+    cache=None,
+    refresh: bool = False,
 ) -> RunResult:
     """Solve Eq. 2 for a fleet of scenarios in one vectorised pass.
 
     Returns a :class:`RunResult` delegating to the
     :class:`BatchResult` (iteration/indexing included); ``legacy=True``
-    returns the bare batch (deprecated).
+    returns the bare batch (deprecated).  ``cache``/``refresh`` control
+    the persistent result store (see the module docstring).
     """
-    result = (engine or default_engine()).solve_batch(
-        scenarios, parallel=parallel, obs=obs
-    )
+    eng = engine or default_engine()
+    store = _resolve_store(cache)
+    if store is not None:
+        from .store import solve_batch_incremental
+
+        result, _ = solve_batch_incremental(
+            eng, scenarios, store, parallel=parallel, obs=obs,
+            refresh=refresh,
+        )
+    else:
+        result = eng.solve_batch(scenarios, parallel=parallel, obs=obs)
     if legacy:
         _legacy_warning("solve_batch")
         return result
@@ -256,6 +299,8 @@ def sweep(
     engine: Optional[BatchSolverEngine] = None,
     obs: Optional[ObsContext] = None,
     legacy: bool = False,
+    cache=None,
+    refresh: bool = False,
 ) -> RunResult:
     """Solve ``scenario`` with one parameter swept over ``values``.
 
@@ -263,11 +308,19 @@ def sweep(
     ``mdata_mb``, ``speed_mps``, ``rho_per_m``, ``d0_m``, or any raw
     ``Scenario`` field.  Returns a :class:`RunResult` delegating to the
     :class:`BatchResult`; ``legacy=True`` returns the bare batch
-    (deprecated).
+    (deprecated).  ``cache``/``refresh`` control the persistent result
+    store (see the module docstring).
     """
-    result = (engine or default_engine()).sweep(
-        scenario, param, values, obs=obs
-    )
+    eng = engine or default_engine()
+    store = _resolve_store(cache)
+    if store is not None:
+        from .store import sweep_incremental
+
+        result, _ = sweep_incremental(
+            eng, scenario, param, values, store, obs=obs, refresh=refresh
+        )
+    else:
+        result = eng.sweep(scenario, param, values, obs=obs)
     if legacy:
         _legacy_warning("sweep")
         return result
@@ -280,12 +333,46 @@ def sweep(
     return RunResult("sweep", result, manifest, scenario=scenario)
 
 
+def _chaos_store_key(
+    plan: FaultPlan, scenario_name: str, seed: int, kwargs: Dict[str, object]
+) -> Optional[str]:
+    """The store key for one chaos run, or ``None`` if uncacheable.
+
+    Uncacheable means some kwarg does not serialise canonically (e.g. a
+    live ``telemetry`` collector, which the run must populate anyway).
+    """
+    import dataclasses
+
+    from .store import CHAOS_CODE_MODULES, config_key
+
+    extras: Dict[str, object] = {}
+    for name, value in kwargs.items():
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            extras[name] = dataclasses.asdict(value)
+        elif value is None or isinstance(value, (bool, int, float, str)):
+            extras[name] = value
+        else:
+            return None
+    return config_key(
+        "chaos.run",
+        {
+            "plan": plan.to_dict(),
+            "scenario": scenario_name,
+            "seed": seed,
+            "kwargs": extras,
+        },
+        CHAOS_CODE_MODULES,
+    )
+
+
 def chaos(
     plan: FaultPlan,
     scenario_name: str = "quadrocopter",
     seed: int = 1,
     obs: Optional[ObsContext] = None,
     legacy: bool = False,
+    cache=None,
+    refresh: bool = False,
     **kwargs,
 ) -> RunResult:
     """Run one solved mission under a fault plan (see ``repro chaos``).
@@ -304,10 +391,31 @@ def chaos(
     wall-clocked tracer would be a contract violation); ``legacy=True``
     returns the bare result (deprecated).
     """
-    from .faults.chaos import chaos_manifest, run_chaos
+    from .faults.chaos import ChaosResult, chaos_manifest, run_chaos
 
-    if obs is None and not legacy:
+    # Caching is gated on the *default* obs path: a caller-supplied
+    # context expects to observe a live run, and a cached replay cannot
+    # retroactively fill it.  With the default deterministic context
+    # the full manifest (obs sections included) is stored alongside the
+    # result, so a warm chaos run is byte-identical to the cold one —
+    # the replay contract survives caching.
+    store = key = None
+    cacheable = obs is None and not legacy
+    if cacheable:
+        store = _resolve_store(cache)
         obs = ObsContext.enabled(deterministic=True)
+    if store is not None:
+        key = _chaos_store_key(plan, scenario_name, seed, kwargs)
+    if key is not None and not refresh:
+        body = store.get(key)
+        if body is not None:
+            try:
+                result = ChaosResult.from_dict(body["result"])
+                manifest = RunManifest.from_dict(body["manifest"])
+            except (KeyError, TypeError, ValueError):
+                pass  # malformed entry: fall through to a live run
+            else:
+                return RunResult("chaos", result, manifest)
     result = run_chaos(
         plan, scenario_name=scenario_name, seed=seed, obs=obs, **kwargs
     )
@@ -315,6 +423,11 @@ def chaos(
         _legacy_warning("chaos")
         return result
     manifest = chaos_manifest(result, plan, obs=obs)
+    if key is not None:
+        store.put(
+            key,
+            {"result": result.to_dict(), "manifest": manifest.to_dict()},
+        )
     return RunResult("chaos", result, manifest)
 
 

@@ -3,23 +3,32 @@
 Commands
 --------
 solve       Solve Eq. 2 for a baseline scenario (with overrides).
+sweep       Solve one scenario with one parameter swept over a range.
 experiment  Regenerate one of the paper's tables/figures.
 mission     Run the end-to-end SAR mission policy comparison.
 validate    Re-check the channel calibration against the paper's fits.
 bench       Time the replica-batched campaign engine vs the scalar one.
 chaos       Run a solved mission under a deterministic fault plan.
+cache       Persistent result-store maintenance (stats/gc/clear/verify).
 obs         Observability utilities (``obs summarize`` digests manifests).
-lint        Run the reprolint domain-invariant checkers (RL101-RL106).
+lint        Run the reprolint domain-invariant checkers (RL101-RL107).
 
-``solve``, ``experiment``, ``bench``, ``chaos`` and ``lint`` accept
-``--json`` for machine-readable output.  ``bench --json`` and ``chaos
---json`` print a :class:`~repro.obs.RunManifest` — the same bytes the
-library emits via ``manifest.to_json()`` — and ``chaos --json`` stays
-replay-deterministic: identical inputs print identical bytes.
-``solve`` additionally takes ``--trace`` (span digest) and
-``--metrics-out FILE`` (write the run manifest); see
-docs/OBSERVABILITY.md, docs/PERFORMANCE.md, docs/ROBUSTNESS.md and
-docs/STATIC_ANALYSIS.md.
+``solve``, ``sweep``, ``experiment``, ``bench``, ``chaos`` and ``lint``
+accept ``--json`` for machine-readable output.  ``bench --json`` and
+``chaos --json`` print a :class:`~repro.obs.RunManifest` — the same
+bytes the library emits via ``manifest.to_json()``, plus a
+``created_unix_s`` provenance stamp added here at the CLI boundary
+(via :data:`repro.perf.unix_clock`; the library manifest itself stays
+unstamped so replays below the CLI remain byte-identical).  ``chaos
+--json`` is replay-deterministic modulo that one stamp.  ``solve``
+additionally takes ``--trace`` (span digest) and ``--metrics-out
+FILE`` (write the run manifest); see docs/OBSERVABILITY.md,
+docs/PERFORMANCE.md, docs/ROBUSTNESS.md and docs/STATIC_ANALYSIS.md.
+
+``solve``, ``sweep``, ``bench`` and ``chaos`` take ``--no-cache`` /
+``--refresh`` to control the persistent result store (opt-in via
+``REPRO_CACHE_DIR`` / ``REPRO_CACHE=1``; see docs/PERFORMANCE.md,
+"Result store & incremental sweeps").
 
 The CLI talks to the library exclusively through the stable
 :mod:`repro.api` façade — no ``repro.core`` internals.
@@ -28,6 +37,7 @@ The CLI talks to the library exclusively through the stable
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Any, List, Optional
@@ -39,6 +49,26 @@ __all__ = ["main", "build_parser"]
 EXPERIMENTS = (
     "fig1", "fig2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """``--no-cache`` / ``--refresh`` for store-aware commands."""
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result store for this run",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="recompute even on a store hit and overwrite the entry",
+    )
+
+
+def _cache_kwargs(args: argparse.Namespace) -> dict:
+    """The ``cache=``/``refresh=`` kwargs one command forwards to the API."""
+    return {
+        "cache": False if args.no_cache else None,
+        "refresh": args.refresh,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +113,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run manifest (config, seeds, git rev, metrics, "
              "trace) as JSON to FILE",
     )
+    _add_cache_flags(solve)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="solve one scenario with one parameter swept over a range",
+    )
+    sweep.add_argument(
+        "scenario", choices=("airplane", "quadrocopter"),
+        help="baseline scenario (paper Section 4)",
+    )
+    sweep.add_argument(
+        "--param", required=True, metavar="NAME",
+        help="parameter to sweep: mdata_mb, speed_mps, rho_per_m, d0_m "
+             "or any raw Scenario field",
+    )
+    sweep.add_argument(
+        "--values", default=None, metavar="V1,V2,...",
+        help="explicit comma-separated sweep values",
+    )
+    sweep.add_argument(
+        "--linspace", nargs=3, type=float, default=None,
+        metavar=("START", "STOP", "N"),
+        help="N evenly spaced values from START to STOP",
+    )
+    sweep.add_argument(
+        "--geomspace", nargs=3, type=float, default=None,
+        metavar=("START", "STOP", "N"),
+        help="N geometrically spaced values from START to STOP",
+    )
+    sweep.add_argument("--mdata-mb", type=float, help="override Mdata in MB")
+    sweep.add_argument("--speed", type=float,
+                       help="override cruise speed (m/s)")
+    sweep.add_argument("--rho", type=float, help="override failure rate (1/m)")
+    sweep.add_argument("--d0", type=float,
+                       help="override contact distance (m)")
+    sweep.add_argument(
+        "--json", action="store_true",
+        help="print the run manifest as one JSON object",
+    )
+    sweep.add_argument(
+        "--manifest-out", metavar="FILE", default=None,
+        help="write the run manifest to FILE (no obs sections, so "
+             "identical sweeps write identical bytes — warm or cold)",
+    )
+    sweep.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="collect deterministic obs (engine.* and store.* counters) "
+             "and write the obs-bearing manifest to FILE",
+    )
+    _add_cache_flags(sweep)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -141,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one JSON report with timings and telemetry",
     )
+    _add_cache_flags(bench)
 
     chaos = sub.add_parser(
         "chaos",
@@ -185,6 +266,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the deterministic chaos report as one JSON object",
     )
+    _add_cache_flags(chaos)
+
+    cache = sub.add_parser(
+        "cache", help="persistent result-store maintenance"
+    )
+    cache.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="store location (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats", help="entry count, byte totals, cap and location"
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="enforce the size cap now (LRU eviction)"
+    )
+    cache_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="evict down to N bytes instead of the configured cap",
+    )
+    cache_sub.add_parser("clear", help="drop every entry")
+    cache_verify = cache_sub.add_parser(
+        "verify", help="checksum every entry; drop corrupt ones"
+    )
+    cache_verify.add_argument(
+        "--no-repair", action="store_true",
+        help="only report corrupt entries, do not drop them "
+             "(exit 1 if any found)",
+    )
 
     obs = sub.add_parser(
         "obs", help="observability utilities (run manifests)"
@@ -201,7 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the reprolint domain-invariant checkers (RL101-RL106)",
+        help="run the reprolint domain-invariant checkers (RL101-RL107)",
     )
     lint.add_argument(
         "--path", default=None, metavar="DIR",
@@ -261,7 +371,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     scenario = _scenario_with_overrides(args)
     obs = _make_obs(args)
-    result = solve(scenario, obs=obs)
+    result = solve(scenario, obs=obs, **_cache_kwargs(args))
     decision = result.outputs
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
@@ -312,6 +422,89 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.trace and obs is not None:
         print("-" * 40)
         print(_trace_digest(obs))
+    return 0
+
+
+def _sweep_values(args: argparse.Namespace) -> List[float]:
+    """The sweep's value list from exactly one of the three specs."""
+    import numpy as np
+
+    specs = [
+        spec
+        for spec in (args.values, args.linspace, args.geomspace)
+        if spec is not None
+    ]
+    if len(specs) != 1:
+        raise SystemExit(
+            "sweep: give exactly one of --values, --linspace, --geomspace"
+        )
+    if args.values is not None:
+        try:
+            values = [
+                float(part)
+                for part in args.values.split(",")
+                if part.strip()
+            ]
+        except ValueError:
+            raise SystemExit(
+                f"sweep: bad --values {args.values!r}: expected "
+                "comma-separated numbers"
+            ) from None
+        if not values:
+            raise SystemExit("sweep: --values is empty")
+        return values
+    start, stop, count = (
+        args.linspace if args.linspace is not None else args.geomspace
+    )
+    n = int(count)
+    if n < 1 or n != count:
+        raise SystemExit("sweep: N must be a positive integer")
+    space = np.linspace if args.linspace is not None else np.geomspace
+    return [float(v) for v in space(start, stop, n)]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .api import sweep
+
+    scenario = _scenario_with_overrides(args)
+    values = _sweep_values(args)
+    obs = None
+    if args.metrics_out:
+        from .obs import ObsContext
+
+        obs = ObsContext.enabled(deterministic=True)
+    result = sweep(
+        scenario, args.param, values, obs=obs, **_cache_kwargs(args)
+    )
+    document = result.manifest.to_json()
+    if args.manifest_out:
+        # --manifest-out promises obs-free bytes (warm == cold); when
+        # --metrics-out forced an obs context in the same invocation,
+        # strip the obs sections rather than leak them into both files.
+        bare = result.manifest
+        if obs is not None:
+            bare = dataclasses.replace(
+                bare, telemetry=None, metrics=None, trace=None, events=None
+            )
+        with open(args.manifest_out, "w", encoding="utf-8") as handle:
+            handle.write(bare.to_json())
+            handle.write("\n")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+            handle.write("\n")
+    if args.json:
+        print(document)
+        return 0
+    batch = result.outputs
+    print(f"scenario          : {scenario.name}")
+    print(f"swept parameter   : {args.param} "
+          f"({len(values)} value(s), {min(values):g}..{max(values):g})")
+    print("-" * 40)
+    print(f"optimal distance  : {batch.distance_m.min():.1f}"
+          f"..{batch.distance_m.max():.1f} m")
+    print(f"utility U(dopt)   : {batch.utility.min():.4f}"
+          f"..{batch.utility.max():.4f}")
     return 0
 
 
@@ -401,6 +594,8 @@ def bench_report(
     parallel: Optional[bool] = None,
     scalar_replicas: Optional[int] = None,
     obs: "Any" = None,
+    cache=None,
+    refresh: bool = False,
 ) -> dict:
     """Run the batched campaign and its scalar baseline; report timings.
 
@@ -409,11 +604,16 @@ def bench_report(
     the speedup, per-stage timings, memo-hit counters and per-distance
     medians (see docs/PERFORMANCE.md).  ``obs`` collects campaign spans
     and metrics across both runs (see :func:`bench_manifest`).
+    ``cache``/``refresh`` control the persistent result store for the
+    batched campaign (the scalar baseline always runs live — it is the
+    thing being measured against).
     """
     from .engine.batch import default_engine
     from .measurements.batch import run_campaign, run_scalar_reference
 
-    batch = run_campaign(config, parallel=parallel, obs=obs)
+    batch = run_campaign(
+        config, parallel=parallel, obs=obs, cache=cache, refresh=refresh
+    )
     reference = run_scalar_reference(
         config, n_replicas=scalar_replicas, obs=obs
     )
@@ -504,9 +704,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         parallel=False if args.no_parallel else None,
         scalar_replicas=args.scalar_replicas,
         obs=obs,
+        **_cache_kwargs(args),
     )
     if args.json:
-        print(bench_manifest(report, obs=obs).to_json())
+        from .perf import unix_clock
+
+        manifest = bench_manifest(report, obs=obs)
+        manifest.created_unix_s = unix_clock()
+        print(manifest.to_json())
         return 0
     workload = report["workload"]
     print(f"profile           : {workload['profile']}")
@@ -571,12 +776,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         controller=args.controller,
         idle_timeout_s=args.idle_timeout,
         max_resumes=args.max_resumes,
+        **_cache_kwargs(args),
     )
     if args.json:
+        from .perf import unix_clock
+
         # The run manifest is the one chaos serialisation: the library's
-        # result.manifest.to_json() prints these exact bytes, and replay
-        # determinism (identical inputs -> identical bytes) carries over
-        # because the chaos ObsContext is deterministic by contract.
+        # result.manifest.to_json() produces these bytes modulo the
+        # created_unix_s stamp added here at the CLI boundary.  Replay
+        # determinism (identical inputs -> identical bytes apart from
+        # that stamp) carries over because the chaos ObsContext is
+        # deterministic by contract.
+        result.manifest.created_unix_s = unix_clock()
         print(result.manifest.to_json())
         return 0 if result.completed else 1
     print(f"scenario          : {result.scenario}")
@@ -602,6 +813,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for time_s, kind in result.faults_fired:
         print(f"fault @ {time_s:7.2f} s : {kind}")
     return 0 if result.completed else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .store import ResultStore
+
+    store = ResultStore(Path(args.dir) if args.dir else None)
+    if args.cache_command == "stats":
+        print(json.dumps(store.stats(), sort_keys=True))
+        return 0
+    if args.cache_command == "gc":
+        print(json.dumps({"evicted": store.gc(args.max_bytes)}))
+        return 0
+    if args.cache_command == "clear":
+        print(json.dumps({"removed": store.clear()}))
+        return 0
+    outcome = store.verify(repair=not args.no_repair)
+    print(json.dumps(outcome, sort_keys=True))
+    return 1 if outcome["corrupt"] and args.no_repair else 0
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -662,11 +893,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "solve": _cmd_solve,
+        "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
         "mission": _cmd_mission,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
+        "cache": _cmd_cache,
         "obs": _cmd_obs,
         "lint": _cmd_lint,
     }

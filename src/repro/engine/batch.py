@@ -386,6 +386,16 @@ class BatchSolverEngine:
         """Drop all memoised decisions."""
         self._cache.clear()
 
+    def point_key(self, scenario: "Scenario") -> Optional[tuple]:
+        """The scenario's full parameter tuple under this engine's
+        settings, or ``None`` when the throughput law is uncacheable.
+
+        This is the identity the persistent result store hashes
+        (:mod:`repro.store.fingerprint`); it is exactly the in-memory
+        memoisation key, exposed as API.
+        """
+        return self._key(scenario)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -111,6 +111,45 @@ class ChaosResult:
             "battery_fraction": self.battery_fraction,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChaosResult":
+        """Inverse of :meth:`to_dict` — ``from_dict(r.to_dict()) == r``.
+
+        Used by the persistent result store to rehydrate a cached chaos
+        run; ``delivered_fraction`` is derived and therefore ignored.
+        """
+        deadline = payload.get("deadline_s")
+        return cls(
+            scenario=str(payload["scenario"]),
+            plan_name=str(payload["plan"]),
+            seed=int(payload["seed"]),
+            completed=bool(payload["completed"]),
+            finish_s=float(payload["finish_s"]),
+            delivered_bytes=int(payload["delivered_bytes"]),
+            total_bytes=int(payload["total_bytes"]),
+            dopt_m=float(payload["dopt_m"]),
+            resumes=int(payload["resumes"]),
+            blackout_retries=int(payload["blackout_retries"]),
+            blackout_wait_s=float(payload["blackout_wait_s"]),
+            checkpoints=tuple(
+                TransferCheckpoint.from_dict(c)
+                for c in payload.get("checkpoints", [])
+            ),
+            replans=tuple(
+                dict(r) for r in payload.get("replans", [])
+            ),
+            faults_fired=tuple(
+                (float(f["time_s"]), str(f["kind"]))
+                for f in payload.get("faults_fired", [])
+            ),
+            counters={
+                str(k): int(v)
+                for k, v in dict(payload.get("counters", {})).items()
+            },
+            battery_fraction=float(payload.get("battery_fraction", 1.0)),
+            deadline_s=None if deadline is None else float(deadline),
+        )
+
 
 def run_chaos(
     plan: FaultPlan,

@@ -222,12 +222,44 @@ def _shard_outages(
     )
 
 
+def _shard_obs(
+    shard: int,
+    samples: Dict[float, List[float]],
+    steps: int,
+    n_replicas: int,
+    sim_end_s: float,
+) -> ObsContext:
+    """The deterministic obs context describing one shard's work.
+
+    Shared by the live worker and the store-restore path in
+    :func:`run_campaign`, so a shard replayed from the persistent cache
+    contributes the identical span and ``campaign.*`` counters a live
+    shard would — merged campaign observability is invariant to cache
+    state.
+    """
+    obs = ObsContext.enabled(deterministic=True)
+    with obs.tracer.span(
+        "campaign.shard", sim_start_s=0.0, shard=shard
+    ) as handle:
+        handle.end_sim(sim_end_s)
+    obs.metrics.counter("campaign.epochs").inc(steps * n_replicas)
+    obs.metrics.counter("campaign.samples").inc(
+        sum(len(v) for v in samples.values())
+    )
+    return obs
+
+
 def _run_replica_block(
     config: BatchCampaignConfig,
     shard: int,
     distances_m: Tuple[float, ...],
     collect_obs: bool = False,
-) -> Tuple[Dict[float, List[float]], PerfTelemetry, Optional[ObsContext]]:
+) -> Tuple[
+    Dict[float, List[float]],
+    PerfTelemetry,
+    Optional[ObsContext],
+    Dict[str, object],
+]:
     """One pool task: a block of replicas stepped in one batched link.
 
     ``distances_m`` holds one entry per replica — replicas of different
@@ -237,11 +269,12 @@ def _run_replica_block(
     ``collect_obs`` makes the worker fill a *deterministic* obs context
     (span per shard, ``campaign.*`` metrics) shipped back to the parent
     for merging — deterministic so the merged summary is invariant to
-    worker count and pool completion order.
+    worker count and pool completion order.  The trailing meta dict
+    (``steps``, ``sim_end_s``) is what the persistent store needs to
+    replay the shard's observability without re-running it.
     """
     n_replicas = len(distances_m)
     telemetry = PerfTelemetry()
-    obs = ObsContext.enabled(deterministic=True) if collect_obs else None
     streams = _shard_streams(config, shard)
     channel = BatchAerialChannel(
         profile_by_name(config.profile), n_replicas, streams
@@ -284,24 +317,107 @@ def _run_replica_block(
     telemetry.count("mean_cache_hits", channel.mean_cache_hits)
     telemetry.count("mean_cache_misses", channel.mean_cache_misses)
     telemetry.count("shards")
-    if obs is not None:
-        with obs.tracer.span(
-            "campaign.shard", sim_start_s=0.0, shard=shard
-        ) as handle:
-            handle.end_sim(now)
-        obs.metrics.counter("campaign.epochs").inc(steps * n_replicas)
-        obs.metrics.counter("campaign.samples").inc(
-            sum(len(v) for v in samples.values())
-        )
-    return samples, telemetry, obs
+    obs = (
+        _shard_obs(shard, samples, steps, n_replicas, now)
+        if collect_obs
+        else None
+    )
+    return samples, telemetry, obs, {"steps": steps, "sim_end_s": now}
 
 
 def _run_block_task(
     args: Tuple,
-) -> Tuple[Dict[float, List[float]], PerfTelemetry, Optional[ObsContext]]:
+) -> Tuple[
+    Dict[float, List[float]],
+    PerfTelemetry,
+    Optional[ObsContext],
+    Dict[str, object],
+]:
     """Unpack helper for ``Executor.map`` over shard tuples."""
     config, shard, distances_m, collect_obs = args
     return _run_replica_block(config, shard, distances_m, collect_obs)
+
+
+# ----------------------------------------------------------------------
+# Persistent-store plumbing
+# ----------------------------------------------------------------------
+
+def _shard_store_key(
+    config: BatchCampaignConfig, shard: int, distances_m: Tuple[float, ...]
+) -> str:
+    """The persistent-store key of one shard's output.
+
+    A shard's samples are fully determined by ``(config, shard index,
+    distances block)``: its random streams fork on ``shard + 1`` and
+    its fault plans key on global replica indices derived from the
+    shard index — the shard is therefore the safe caching granularity
+    (per-distance entries would not be, because replicas of different
+    distances share one batched link).
+    """
+    import dataclasses
+
+    from ..store import CAMPAIGN_CODE_MODULES, config_key
+
+    return config_key(
+        "campaign.shard",
+        {
+            "config": dataclasses.asdict(config),
+            "shard": shard,
+            "distances": list(distances_m),
+        },
+        CAMPAIGN_CODE_MODULES,
+    )
+
+
+def _shard_store_body(
+    samples: Dict[float, List[float]],
+    telemetry: PerfTelemetry,
+    meta: Dict[str, object],
+) -> dict:
+    return {
+        "samples": [[d, readings] for d, readings in samples.items()],
+        "counters": dict(telemetry.counters),
+        "steps": meta["steps"],
+        "sim_end_s": meta["sim_end_s"],
+    }
+
+
+def _restore_shard(
+    shard: int,
+    distances_m: Tuple[float, ...],
+    body: Optional[dict],
+    collect_obs: bool,
+) -> Optional[Tuple]:
+    """Rehydrate one shard's worker output from a store entry.
+
+    Returns the same 4-tuple a live worker produces (samples in the
+    worker's insertion order, replayed telemetry counters, a rebuilt
+    deterministic obs context) or ``None`` when the body is malformed —
+    the caller then just re-runs the shard.
+    """
+    if body is None:
+        return None
+    try:
+        steps = int(body["steps"])
+        sim_end_s = float(body["sim_end_s"])
+        samples = {
+            float(distance): [float(x) for x in readings]
+            for distance, readings in body["samples"]
+        }
+        counters = {
+            str(k): int(v) for k, v in dict(body["counters"]).items()
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+    telemetry = PerfTelemetry()
+    for name, value in counters.items():
+        telemetry.count(name, value)
+    obs = (
+        _shard_obs(shard, samples, steps, len(distances_m), sim_end_s)
+        if collect_obs
+        else None
+    )
+    return samples, telemetry, obs, {"steps": steps, "sim_end_s": sim_end_s}
 
 
 # ----------------------------------------------------------------------
@@ -313,6 +429,8 @@ def run_campaign(
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
     obs: Optional[ObsContext] = None,
+    cache=None,
+    refresh: bool = False,
 ) -> BatchCampaignResult:
     """Run the campaign on the replica-batched engine.
 
@@ -324,46 +442,105 @@ def run_campaign(
     ``obs`` collects per-shard spans and ``campaign.*`` metrics: each
     worker fills a deterministic context, the parent merges them all
     into ``obs``, so the aggregate is invariant to worker count.
+
+    ``cache``/``refresh`` control the persistent result store (see
+    :mod:`repro.api`): cached shards are restored without running,
+    only missing shards are dispatched to the pool, and outputs merge
+    in shard order — warm samples are bit-identical to the cold run's.
     """
+    from ..store import StoreReport, record_store_metrics, resolve_store
+
     t_start = wall_clock()
+    store = resolve_store(cache)
+    shards = config.shards()
+    collect = obs is not None
+    restored: Dict[int, Tuple] = {}
+    before = store.snapshot_counters() if store is not None else {}
+    keys: Dict[int, str] = {}
+    if store is not None:
+        keys = {
+            shard: _shard_store_key(config, shard, distances)
+            for shard, distances in shards
+        }
+        if not refresh:
+            touched = []
+            for shard, distances in shards:
+                entry = _restore_shard(
+                    shard, distances, store.get(keys[shard], touch=False),
+                    collect,
+                )
+                if entry is not None:
+                    restored[shard] = entry
+                    touched.append(keys[shard])
+            store.touch_many(touched)
     run_span = None
     if obs is not None and obs.tracer is not None:
         run_span = obs.tracer.span("campaign.run", sim_start_s=0.0)
         run_span.__enter__()
     tasks = [
-        (config, shard, distances, obs is not None)
-        for shard, distances in config.shards()
+        (config, shard, distances, collect)
+        for shard, distances in shards
+        if shard not in restored
     ]
     if parallel is None:
         parallel = len(tasks) > 1 and (os.cpu_count() or 1) > 1
-    outputs = None
+    live = None
     try:
         if parallel and len(tasks) > 1:
             try:
                 with futures.ProcessPoolExecutor(
                     max_workers=max_workers
                 ) as pool:
-                    outputs = list(pool.map(_run_block_task, tasks))
+                    live = list(pool.map(_run_block_task, tasks))
             except (
                 OSError, PermissionError, futures.process.BrokenProcessPool
             ):
-                outputs = None  # pool unavailable: fall back to sequential
-        if outputs is None:
-            outputs = [_run_block_task(task) for task in tasks]
+                live = None  # pool unavailable: fall back to sequential
+        if live is None:
+            live = [_run_block_task(task) for task in tasks]
     finally:
         if run_span is not None:
-            run_span.annotate(shards=len(tasks))
+            run_span.annotate(shards=len(shards))
             run_span.end_sim(config.duration_s)
             run_span.__exit__(None, None, None)
+    if store is not None and live:
+        store.put_many(
+            {
+                keys[task[1]]: _shard_store_body(out[0], out[1], out[3])
+                for task, out in zip(tasks, live)
+            }
+        )
 
+    # Merge in shard order regardless of which side produced the output.
+    by_shard = dict(restored)
+    for task, out in zip(tasks, live):
+        by_shard[task[1]] = out
+    outputs = [by_shard[shard] for shard, _ in shards]
     samples: Dict[float, List[float]] = {}
-    telemetry = PerfTelemetry.merged(tel for _, tel, _ in outputs)
-    for shard_samples, _, _ in outputs:
+    telemetry = PerfTelemetry.merged(tel for _, tel, _, _ in outputs)
+    for shard_samples, _, _, _ in outputs:
         for distance, readings in shard_samples.items():
             samples.setdefault(distance, []).extend(readings)
     if obs is not None:
-        obs.merge(ObsContext.merged(part for _, _, part in outputs))
+        obs.merge(ObsContext.merged(part for _, _, part, _ in outputs))
         _record_campaign_totals(obs, config)
+        if store is not None:
+            warm = sum(
+                len(distances)
+                for shard, distances in shards
+                if shard in restored
+            )
+            total = sum(len(distances) for _, distances in shards)
+            record_store_metrics(
+                obs, store, before,
+                StoreReport(
+                    enabled=True,
+                    points=total,
+                    warm_points=warm,
+                    entry_hits=len(restored),
+                    entry_misses=len(shards) - len(restored),
+                ),
+            )
     return BatchCampaignResult(
         samples=samples,
         telemetry=telemetry,

@@ -148,6 +148,17 @@ class TransferCheckpoint:
             "reason": self.reason,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TransferCheckpoint":
+        """Inverse of :meth:`to_dict` (``remaining_bytes`` is derived)."""
+        return cls(
+            batch_id=int(payload["batch_id"]),
+            total_bytes=int(payload["total_bytes"]),
+            delivered_bytes=int(payload["delivered_bytes"]),
+            time_s=float(payload["time_s"]),
+            reason=str(payload.get("reason", "stalled")),
+        )
+
 
 @dataclass(frozen=True)
 class ResumableTransferReport:

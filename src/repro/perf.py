@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, Optional
 
-__all__ = ["PerfTelemetry", "StageTimer", "wall_clock"]
+__all__ = ["PerfTelemetry", "StageTimer", "unix_clock", "wall_clock"]
 
 #: The one sanctioned wall-clock for performance instrumentation.
 #: Everything outside :mod:`repro.perf` and :mod:`repro.obs` must read
@@ -25,6 +25,13 @@ __all__ = ["PerfTelemetry", "StageTimer", "wall_clock"]
 #: every wall-clock read greppable and the simulated-time purity rule
 #: (RL102) easy to audit.
 wall_clock = time.perf_counter
+
+#: The one sanctioned epoch clock (seconds since the Unix epoch), for
+#: provenance stamps like ``RunManifest.created_unix_s``.  Same policy
+#: as :data:`wall_clock`: library code never calls ``time.time()``
+#: directly — the stamp happens once, at the CLI boundary, so
+#: deterministic pipelines stay byte-identical below it.
+unix_clock = time.time
 
 
 class PerfTelemetry:

@@ -1,0 +1,487 @@
+"""The persistent, content-addressed, size-capped result store.
+
+Layout (under ``REPRO_CACHE_DIR``, default ``~/.cache/repro``)::
+
+    index.json             LRU index: {key: {size, tick}}, logical clock
+    lock                   advisory flock for index mutations
+    objects/ab/abcd....json one entry; {"key", "sha256", "body"}
+
+Guarantees:
+
+* **atomicity** — payloads and the index are written tmp+rename
+  (:mod:`repro.store.atomic`), so readers never see torn entries;
+* **self-verification** — every entry carries the SHA-256 of its
+  canonical body; a mismatch (bit rot, partial disk, manual edits) is
+  treated as a miss, the entry is dropped, and ``corrupt`` is counted —
+  never an exception;
+* **bounded size** — a byte-capped LRU: the index orders entries by a
+  persisted logical ``tick`` (no wall clock anywhere, so replays and
+  tests stay deterministic) and :meth:`ResultStore.put` evicts
+  oldest-first past the cap;
+* **graceful degradation** — a read-only, missing, or otherwise broken
+  cache directory turns every operation into a counted no-op/miss; the
+  caller recomputes and the run still succeeds.
+
+Concurrency: index mutations take an advisory inter-process
+:class:`~repro.store.atomic.FileLock` plus an in-process mutex; entry
+reads are lock-free (rename atomicity makes any visible file whole).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from .atomic import FileLock, atomic_write_text
+from .fingerprint import canonical_json
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "ResultStore",
+    "cache_enabled_by_env",
+    "default_cache_dir",
+    "default_store",
+    "resolve_store",
+]
+
+#: Default size cap (bytes) unless ``REPRO_CACHE_MAX_BYTES`` overrides.
+DEFAULT_MAX_BYTES = 512 * 2**20
+
+_INDEX_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def cache_enabled_by_env() -> bool:
+    """Whether the persistent store is opted in for this process.
+
+    The store is **opt-in**: set ``REPRO_CACHE_DIR`` (explicit
+    location) or ``REPRO_CACHE=1`` (default location) to enable it;
+    ``REPRO_NO_CACHE=1`` wins over both.  Library callers can always
+    pass a :class:`ResultStore` (or ``cache=True``) explicitly.
+    """
+    if os.environ.get("REPRO_NO_CACHE"):
+        return False
+    return bool(
+        os.environ.get("REPRO_CACHE_DIR") or os.environ.get("REPRO_CACHE")
+    )
+
+
+class ResultStore:
+    """Content-addressed JSON store with checksums and LRU eviction."""
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        if max_bytes is None:
+            try:
+                max_bytes = int(
+                    os.environ.get("REPRO_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES)
+                )
+            except ValueError:
+                max_bytes = DEFAULT_MAX_BYTES
+        self.max_bytes = max_bytes
+        #: Per-instance operation counters (``store.*`` obs names).
+        self.counters: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "evictions": 0,
+            "corrupt": 0,
+            "errors": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+        }
+        self._mutex = threading.Lock()
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / "lock"
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._mutex:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def snapshot_counters(self) -> Dict[str, int]:
+        """A copy of the operation counters (for obs deltas)."""
+        with self._mutex:
+            return dict(self.counters)
+
+    # ------------------------------------------------------------------
+    # Index
+    # ------------------------------------------------------------------
+    def _empty_index(self) -> Dict[str, object]:
+        return {"version": _INDEX_VERSION, "tick": 0, "entries": {}}
+
+    def _load_index(self) -> Dict[str, object]:
+        """The on-disk index, rebuilt from the objects tree if damaged."""
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if (
+                isinstance(payload, dict)
+                and payload.get("version") == _INDEX_VERSION
+                and isinstance(payload.get("entries"), dict)
+            ):
+                return payload
+        except FileNotFoundError:
+            pass
+        except (OSError, json.JSONDecodeError, ValueError):
+            self._count("corrupt")
+        return self._rebuild_index()
+
+    def _rebuild_index(self) -> Dict[str, object]:
+        """Recover an index by scanning ``objects/`` (sorted, tick 0)."""
+        index = self._empty_index()
+        entries: Dict[str, Dict[str, int]] = index["entries"]  # type: ignore[assignment]
+        objects = self.root / "objects"
+        try:
+            for path in sorted(objects.rglob("*.json")):
+                entries[path.stem] = {"size": path.stat().st_size, "tick": 0}
+        except OSError:
+            self._count("errors")
+        return index
+
+    def _save_index(self, index: Dict[str, object]) -> None:
+        atomic_write_text(self.index_path, canonical_json(index) + "\n")
+
+    def _ensure_dirs(self) -> bool:
+        if self._broken:
+            return False
+        try:
+            (self.root / "objects").mkdir(parents=True, exist_ok=True)
+            return True
+        except OSError:
+            self._broken = True
+            self._count("errors")
+            return False
+
+    # ------------------------------------------------------------------
+    # Entry I/O
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _checksum(body: object) -> str:
+        return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+    def get(self, key: str, touch: bool = True) -> Optional[dict]:
+        """The stored body for ``key``, or ``None``.
+
+        Corrupt entries (bad JSON, checksum mismatch, key mismatch) are
+        dropped and counted as ``corrupt`` — the caller simply sees a
+        miss.  Filesystem errors count as ``errors`` and also miss.
+        ``touch=False`` skips the LRU-tick refresh so batch readers can
+        coalesce it into one :meth:`touch_many` index write.
+        """
+        path = self._object_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except OSError:
+            self._count("errors")
+            self._count("misses")
+            return None
+        try:
+            payload = json.loads(raw)
+            body = payload["body"]
+            ok = (
+                payload.get("key") == key
+                and payload.get("sha256") == self._checksum(body)
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            ok = False
+            body = None
+        if not ok:
+            self._count("corrupt")
+            self._count("misses")
+            self._drop(key)
+            return None
+        self._count("hits")
+        self._count("bytes_read", len(raw))
+        if touch:
+            self.touch_many([key])
+        return body
+
+    def put(self, key: str, body: dict) -> bool:
+        """Store ``body`` under ``key``; evict past the size cap.
+
+        Returns ``True`` when the entry landed on disk.  Any failure
+        (read-only directory, full disk, un-encodable body) is counted
+        and swallowed — persistence is an optimisation, never a
+        correctness dependency.
+        """
+        if self.max_bytes <= 0 or not self._ensure_dirs():
+            return False
+        try:
+            document = canonical_json(
+                {"key": key, "sha256": self._checksum(body), "body": body}
+            )
+        except (TypeError, ValueError):
+            self._count("errors")
+            return False
+        path = self._object_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, document)
+        except OSError:
+            self._count("errors")
+            return False
+        self._count("puts")
+        self._count("bytes_written", len(document))
+        try:
+            with FileLock(self.lock_path):
+                index = self._load_index()
+                entries: Dict[str, Dict[str, int]] = index["entries"]  # type: ignore[assignment]
+                tick = int(index.get("tick", 0)) + 1
+                index["tick"] = tick
+                entries[key] = {"size": len(document), "tick": tick}
+                self._evict_locked(index)
+                self._save_index(index)
+        except OSError:
+            self._count("errors")
+        return True
+
+    def put_many(self, items: Dict[str, dict]) -> int:
+        """Store several bodies with one index update; returns stores.
+
+        Payload files are written (atomically) one by one, then a
+        single locked index pass assigns ticks in insertion order and
+        runs eviction once — a cold 8k-point sweep costs one index
+        write, not one per group.
+        """
+        if self.max_bytes <= 0 or not items or not self._ensure_dirs():
+            return 0
+        written: Dict[str, int] = {}
+        for key, body in items.items():
+            try:
+                document = canonical_json(
+                    {"key": key, "sha256": self._checksum(body), "body": body}
+                )
+            except (TypeError, ValueError):
+                self._count("errors")
+                continue
+            path = self._object_path(key)
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                atomic_write_text(path, document)
+            except OSError:
+                self._count("errors")
+                continue
+            written[key] = len(document)
+            self._count("puts")
+            self._count("bytes_written", len(document))
+        if not written:
+            return 0
+        try:
+            with FileLock(self.lock_path):
+                index = self._load_index()
+                entries: Dict[str, Dict[str, int]] = index["entries"]  # type: ignore[assignment]
+                tick = int(index.get("tick", 0))
+                for key, size in written.items():
+                    tick += 1
+                    entries[key] = {"size": size, "tick": tick}
+                index["tick"] = tick
+                self._evict_locked(index)
+                self._save_index(index)
+        except OSError:
+            self._count("errors")
+        return len(written)
+
+    def touch_many(self, keys) -> None:
+        """Refresh the LRU tick of several keys in one index write."""
+        keys = [key for key in keys if key]
+        if not keys:
+            return
+        try:
+            with FileLock(self.lock_path):
+                index = self._load_index()
+                entries: Dict[str, Dict[str, int]] = index["entries"]  # type: ignore[assignment]
+                tick = int(index.get("tick", 0))
+                dirty = False
+                for key in keys:
+                    if key in entries:
+                        tick += 1
+                        entries[key]["tick"] = tick
+                        dirty = True
+                if dirty:
+                    index["tick"] = tick
+                    self._save_index(index)
+        except OSError:
+            self._count("errors")
+
+    def _drop(self, key: str) -> None:
+        """Remove one entry's file and index row (best-effort)."""
+        try:
+            os.unlink(self._object_path(key))
+        except OSError:
+            pass
+        try:
+            with FileLock(self.lock_path):
+                index = self._load_index()
+                if key in index["entries"]:  # type: ignore[operator]
+                    del index["entries"][key]  # type: ignore[index]
+                    self._save_index(index)
+        except OSError:
+            self._count("errors")
+
+    def _evict_locked(self, index: Dict[str, object]) -> int:
+        """Evict oldest-tick entries until under the cap (lock held)."""
+        entries: Dict[str, Dict[str, int]] = index["entries"]  # type: ignore[assignment]
+        total = sum(int(e.get("size", 0)) for e in entries.values())
+        evicted = 0
+        while total > self.max_bytes and entries:
+            victim = min(
+                entries, key=lambda k: (int(entries[k].get("tick", 0)), k)
+            )
+            total -= int(entries[victim].get("size", 0))
+            del entries[victim]
+            try:
+                os.unlink(self._object_path(victim))
+            except OSError:
+                pass
+            evicted += 1
+        if evicted:
+            self._count("evictions", evicted)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Maintenance (the ``repro cache`` CLI)
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Entry count, byte totals, cap and location (JSON-ready)."""
+        index = self._load_index()
+        entries: Dict[str, Dict[str, int]] = index["entries"]  # type: ignore[assignment]
+        return {
+            "path": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(int(e.get("size", 0)) for e in entries.values()),
+            "max_bytes": self.max_bytes,
+            "counters": self.snapshot_counters(),
+        }
+
+    def gc(self, max_bytes: Optional[int] = None) -> int:
+        """Enforce the size cap now; returns the number evicted."""
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        try:
+            with FileLock(self.lock_path):
+                index = self._load_index()
+                keep, self.max_bytes = self.max_bytes, cap
+                try:
+                    evicted = self._evict_locked(index)
+                finally:
+                    self.max_bytes = keep
+                self._save_index(index)
+            return evicted
+        except OSError:
+            self._count("errors")
+            return 0
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        index = self._load_index()
+        removed = len(index["entries"])  # type: ignore[arg-type]
+        try:
+            shutil.rmtree(self.root / "objects", ignore_errors=True)
+            with FileLock(self.lock_path):
+                self._save_index(self._empty_index())
+        except OSError:
+            self._count("errors")
+            return 0
+        return removed
+
+    def verify(self, repair: bool = True) -> Dict[str, int]:
+        """Checksum every entry; drop (or just report) corrupt ones."""
+        checked = corrupt = 0
+        objects = self.root / "objects"
+        try:
+            paths = sorted(objects.rglob("*.json"))
+        except OSError:
+            self._count("errors")
+            paths = []
+        for path in paths:
+            checked += 1
+            key = path.stem
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                ok = (
+                    payload.get("key") == key
+                    and payload.get("sha256")
+                    == self._checksum(payload["body"])
+                )
+            except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                    ValueError):
+                ok = False
+            if not ok:
+                corrupt += 1
+                self._count("corrupt")
+                if repair:
+                    self._drop(key)
+        return {"checked": checked, "corrupt": corrupt}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultStore({str(self.root)!r}, max_bytes={self.max_bytes})"
+
+
+_DEFAULT_STORES: Dict[str, ResultStore] = {}
+
+
+def resolve_store(cache) -> Optional[ResultStore]:
+    """Map the public ``cache=`` knob onto a store instance (or None).
+
+    ``False`` → never; a :class:`ResultStore` → itself; ``True`` → the
+    default store; ``None`` (the default) → the default store only when
+    the environment opted in (:func:`cache_enabled_by_env`).
+    """
+    if cache is False or (cache is None and not cache_enabled_by_env()):
+        return None
+    if isinstance(cache, ResultStore):
+        return cache
+    return default_store()
+
+
+def default_store() -> ResultStore:
+    """The process-wide store for the current cache directory.
+
+    One instance per resolved directory, so tests that repoint
+    ``REPRO_CACHE_DIR`` get a fresh store while normal processes share
+    counters across the run.
+    """
+    root = str(default_cache_dir())
+    store = _DEFAULT_STORES.get(root)
+    if store is None:
+        store = ResultStore(Path(root))
+        _DEFAULT_STORES[root] = store
+    return store

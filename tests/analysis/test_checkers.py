@@ -348,6 +348,124 @@ class TestRL104FloatEquality:
         assert findings == []
 
 
+class TestRL107StoreAtomicIo:
+    def test_write_mode_open_flagged(self):
+        findings = findings_for(
+            """
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+            path="store/index.py",
+            rules=["RL107"],
+        )
+        assert rule_ids(findings) == ["RL107"]
+        assert "atomic_write" in findings[0].message
+
+    def test_read_mode_open_allowed(self):
+        findings = findings_for(
+            """
+            def load(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    return handle.read()
+            """,
+            path="store/index.py",
+            rules=["RL107"],
+        )
+        assert findings == []
+
+    def test_dynamic_mode_flagged(self):
+        """An unresolvable mode counts as a write (the safe direction)."""
+        findings = findings_for(
+            """
+            def touch(path, mode):
+                return open(path, mode)
+            """,
+            path="store/index.py",
+            rules=["RL107"],
+        )
+        assert rule_ids(findings) == ["RL107"]
+
+    def test_os_open_flagged(self):
+        findings = findings_for(
+            """
+            import os
+
+            def raw(path):
+                return os.open(path, os.O_WRONLY | os.O_CREAT)
+            """,
+            path="store/index.py",
+            rules=["RL107"],
+        )
+        assert rule_ids(findings) == ["RL107"]
+
+    def test_path_write_text_flagged(self):
+        findings = findings_for(
+            """
+            from pathlib import Path
+
+            def save(root, text):
+                Path(root, "index.json").write_text(text)
+            """,
+            path="store/index.py",
+            rules=["RL107"],
+        )
+        assert rule_ids(findings) == ["RL107"]
+        assert "write_text" in findings[0].message
+
+    def test_path_open_write_mode_flagged(self):
+        findings = findings_for(
+            """
+            def save(path, text):
+                with path.open("w") as handle:
+                    handle.write(text)
+            """,
+            path="store/index.py",
+            rules=["RL107"],
+        )
+        assert rule_ids(findings) == ["RL107"]
+
+    def test_path_open_read_mode_allowed(self):
+        findings = findings_for(
+            """
+            def load(path):
+                with path.open() as handle:
+                    return handle.read()
+            """,
+            path="store/index.py",
+            rules=["RL107"],
+        )
+        assert findings == []
+
+    def test_atomic_module_is_exempt(self):
+        findings = findings_for(
+            """
+            import os
+
+            def atomic_write_bytes(path, data):
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT)
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                os.replace(path, path)
+            """,
+            path="store/atomic.py",
+            rules=["RL107"],
+        )
+        assert findings == []
+
+    def test_outside_the_store_is_unrestricted(self):
+        findings = findings_for(
+            """
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+            path="obs/manifest.py",
+            rules=["RL107"],
+        )
+        assert findings == []
+
+
 class TestRuleSelection:
     def test_unknown_rule_rejected(self):
         with pytest.raises(ValueError, match="unknown rule"):

@@ -41,7 +41,7 @@ def test_json_report_shape(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["ok"] is True
     assert payload["rules"] == [
-        "RL101", "RL102", "RL103", "RL104", "RL105", "RL106",
+        "RL101", "RL102", "RL103", "RL104", "RL105", "RL106", "RL107",
     ]
     assert payload["checked_files"] > 50
     assert payload["counts"]["new"] == 0

@@ -1,0 +1,192 @@
+"""ResultStore behaviour: round trips, LRU eviction, degradation."""
+
+import json
+
+import pytest
+
+from repro.store import ResultStore, resolve_store
+from repro.store.store import default_cache_dir, default_store
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+KEY_A = "aa" * 32
+KEY_B = "bb" * 32
+KEY_C = "cc" * 32
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, store):
+        body = {"n": 2, "values": [1.5, 2.5]}
+        assert store.put(KEY_A, body) is True
+        assert store.get(KEY_A) == body
+        assert store.counters["puts"] == 1
+        assert store.counters["hits"] == 1
+        assert store.counters["bytes_written"] > 0
+        assert store.counters["bytes_read"] > 0
+
+    def test_missing_key_is_a_miss(self, store):
+        assert store.get(KEY_A) is None
+        assert store.counters["misses"] == 1
+
+    def test_unencodable_body_is_swallowed(self, store):
+        assert store.put(KEY_A, {"bad": float("nan")}) is False
+        assert store.counters["errors"] == 1
+
+    def test_put_many_and_stats(self, store):
+        stored = store.put_many({KEY_A: {"v": 1}, KEY_B: {"v": 2}})
+        assert stored == 2
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] > 0
+        assert store.get(KEY_A) == {"v": 1}
+        assert store.get(KEY_B) == {"v": 2}
+
+
+class TestCorruption:
+    def _corrupt(self, store, key, text):
+        path = store._object_path(key)
+        path.write_text(text)
+
+    def test_garbage_bytes_become_a_miss(self, store):
+        store.put(KEY_A, {"v": 1})
+        self._corrupt(store, KEY_A, "{ not json")
+        assert store.get(KEY_A) is None
+        assert store.counters["corrupt"] == 1
+        assert not store._object_path(KEY_A).exists()  # dropped
+
+    def test_checksum_mismatch_becomes_a_miss(self, store):
+        store.put(KEY_A, {"v": 1})
+        self._corrupt(
+            store,
+            KEY_A,
+            json.dumps({"key": KEY_A, "sha256": "0" * 64, "body": {"v": 1}}),
+        )
+        assert store.get(KEY_A) is None
+        assert store.counters["corrupt"] == 1
+
+    def test_verify_reports_without_repair(self, store):
+        store.put(KEY_A, {"v": 1})
+        store.put(KEY_B, {"v": 2})
+        self._corrupt(store, KEY_A, "broken")
+        report = store.verify(repair=False)
+        assert report == {"checked": 2, "corrupt": 1}
+        assert store._object_path(KEY_A).exists()
+
+    def test_verify_repairs(self, store):
+        store.put(KEY_A, {"v": 1})
+        self._corrupt(store, KEY_A, "broken")
+        assert store.verify(repair=True) == {"checked": 1, "corrupt": 1}
+        assert not store._object_path(KEY_A).exists()
+
+    def test_index_corruption_is_rebuilt(self, store):
+        store.put(KEY_A, {"v": 1})
+        store.index_path.write_text("][")
+        assert store.stats()["entries"] == 1
+        assert store.get(KEY_A) == {"v": 1}
+
+
+class TestLruEviction:
+    def _entry_size(self, tmp_path):
+        probe = ResultStore(tmp_path / "probe")
+        probe.put(KEY_A, {"v": 1})
+        return probe.stats()["total_bytes"]
+
+    def test_oldest_tick_is_evicted_first(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        store = ResultStore(tmp_path / "cache", max_bytes=2 * size)
+        store.put(KEY_A, {"v": 1})
+        store.put(KEY_B, {"v": 2})
+        store.get(KEY_A)  # refresh A: B becomes the LRU victim
+        store.put(KEY_C, {"v": 3})
+        assert store.counters["evictions"] == 1
+        assert store.get(KEY_B) is None
+        assert store.get(KEY_A) == {"v": 1}
+        assert store.get(KEY_C) == {"v": 3}
+
+    def test_touch_many_refreshes_in_one_pass(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        store = ResultStore(tmp_path / "cache", max_bytes=3 * size)
+        store.put_many({KEY_A: {"v": 1}, KEY_B: {"v": 2}, KEY_C: {"v": 3}})
+        store.touch_many([KEY_A])
+        assert store.gc(max_bytes=size) == 2  # keeps only the freshest
+        assert store.get(KEY_A) == {"v": 1}
+        assert store.get(KEY_B) is None
+
+    def test_zero_cap_disables_puts(self, tmp_path):
+        store = ResultStore(tmp_path / "cache", max_bytes=0)
+        assert store.put(KEY_A, {"v": 1}) is False
+        assert store.put_many({KEY_A: {"v": 1}}) == 0
+        assert store.get(KEY_A) is None
+
+
+class TestMaintenance:
+    def test_gc_enforces_a_temporary_cap(self, store):
+        store.put_many({KEY_A: {"v": 1}, KEY_B: {"v": 2}})
+        assert store.gc(max_bytes=0) == 2
+        assert store.stats()["entries"] == 0
+        assert store.max_bytes > 0  # instance cap restored
+
+    def test_clear_removes_everything(self, store):
+        store.put_many({KEY_A: {"v": 1}, KEY_B: {"v": 2}})
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+        assert store.get(KEY_A) is None
+
+
+class TestDegradation:
+    def test_unwritable_root_never_raises(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a regular file where the cache dir should be")
+        store = ResultStore(blocker)
+        assert store.put(KEY_A, {"v": 1}) is False
+        assert store.get(KEY_A) is None
+        assert store.counters["errors"] >= 1
+        # Every later operation stays a counted no-op.
+        assert store.put_many({KEY_B: {"v": 2}}) == 0
+        assert store.stats()["entries"] == 0
+
+
+class TestEnvResolution:
+    def test_explicit_false_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert resolve_store(False) is None
+
+    def test_explicit_store_wins(self, store):
+        assert resolve_store(store) is store
+
+    def test_default_is_opt_in(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert resolve_store(None) is None
+
+    def test_cache_dir_opts_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        store = resolve_store(None)
+        assert store is not None
+        assert store.root == tmp_path / "cache"
+
+    def test_no_cache_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert resolve_store(None) is None
+
+    def test_true_forces_the_default_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")  # True overrides opt-out
+        store = resolve_store(True)
+        assert store is not None
+        assert store.root == tmp_path / "cache"
+        assert default_store() is store  # per-directory singleton
+
+    def test_default_cache_dir_precedence(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "explicit"))
+        assert default_cache_dir() == tmp_path / "explicit"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"

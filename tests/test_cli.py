@@ -170,6 +170,13 @@ class TestBenchCommand:
         assert counters["campaign.replicas"] > 0
         assert counters["campaign.epochs"] > 0
 
+    def test_bench_json_stamps_creation_time(self, capsys):
+        """created_unix_s is stamped once, at the CLI boundary."""
+        assert main(self.BENCH_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload["created_unix_s"], float)
+        assert payload["created_unix_s"] > 0
+
     def test_bench_scalar_slice_extrapolates(self, capsys):
         assert main(self.BENCH_ARGS + ["--scalar-replicas", "2",
                                        "--json"]) == 0
@@ -258,6 +265,157 @@ class TestObsCommand:
         assert "not a run manifest" in capsys.readouterr().err
 
 
+class TestSweepCommand:
+    def test_text_summary(self, capsys):
+        assert main(["sweep", "quadrocopter", "--param", "mdata_mb",
+                     "--values", "1,10,30", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "swept parameter   : mdata_mb (3 value(s), 1..30)" in out
+        assert "optimal distance" in out
+
+    def test_json_manifest(self, capsys):
+        assert main(["sweep", "airplane", "--param", "rho_per_m",
+                     "--geomspace", "1e-5", "1e-3", "5",
+                     "--json", "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "sweep"
+        assert payload["config"]["scenario"] == "airplane"
+        assert payload["config"]["param"] == "rho_per_m"
+        assert payload["outputs"]["n"] == 5
+
+    def test_linspace_values(self, capsys):
+        assert main(["sweep", "quadrocopter", "--param", "mdata_mb",
+                     "--linspace", "1", "5", "5", "--json",
+                     "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outputs"]["n"] == 5
+
+    def test_exactly_one_value_spec_required(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "airplane", "--param", "mdata_mb"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "airplane", "--param", "mdata_mb",
+                  "--values", "1,2", "--linspace", "1", "2", "2"])
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "airplane", "--param", "mdata_mb",
+                  "--values", "1,zeppelin"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "airplane", "--param", "mdata_mb",
+                  "--linspace", "1", "2", "2.5"])
+
+    def test_manifest_out_cold_warm_byte_identity(self, tmp_path,
+                                                  monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        args = ["sweep", "quadrocopter", "--param", "mdata_mb",
+                "--linspace", "1", "40", "300"]
+        cold = tmp_path / "cold.json"
+        warm = tmp_path / "warm.json"
+        assert main(args + ["--manifest-out", str(cold)]) == 0
+        assert main(args + ["--manifest-out", str(warm)]) == 0
+        assert cold.read_bytes() == warm.read_bytes()
+
+    def test_manifest_out_stays_obs_free_next_to_metrics_out(
+            self, tmp_path, monkeypatch, capsys):
+        # --metrics-out forces an obs context; --manifest-out in the
+        # same invocation must still get the obs-free bytes, so a
+        # bare cold run and a combined warm run write identical files.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        args = ["sweep", "quadrocopter", "--param", "mdata_mb",
+                "--linspace", "1", "40", "60"]
+        cold = tmp_path / "cold.json"
+        warm = tmp_path / "warm.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(args + ["--manifest-out", str(cold)]) == 0
+        assert main(args + ["--manifest-out", str(warm),
+                            "--metrics-out", str(metrics)]) == 0
+        assert cold.read_bytes() == warm.read_bytes()
+        assert json.loads(warm.read_text())["metrics"] is None
+        assert json.loads(metrics.read_text())["metrics"] is not None
+
+    def test_metrics_out_records_store_provenance(self, tmp_path,
+                                                  monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        args = ["sweep", "quadrocopter", "--param", "mdata_mb",
+                "--linspace", "1", "40", "120"]
+        assert main(args) == 0  # populate the store
+        target = tmp_path / "metrics.json"
+        assert main(args + ["--metrics-out", str(target)]) == 0
+        counters = json.loads(target.read_text())["metrics"]["counters"]
+        assert counters["store.points.warm"] == 120
+        assert counters["store.hits"] >= 1
+        assert not any(k.startswith("engine.") for k in counters)
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert main(["sweep", "quadrocopter", "--param", "mdata_mb",
+                     "--values", "1,5,10"]) == 0
+        return cache_dir
+
+    def test_stats(self, tmp_path, monkeypatch, capsys):
+        cache_dir = self._populate(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["path"] == str(cache_dir)
+        assert payload["entries"] >= 1
+        assert payload["total_bytes"] > 0
+
+    def test_explicit_dir_flag(self, tmp_path, monkeypatch, capsys):
+        cache_dir = self._populate(tmp_path, monkeypatch)
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        capsys.readouterr()
+        assert main(["cache", "--dir", str(cache_dir), "stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] >= 1
+
+    def test_gc_and_clear(self, tmp_path, monkeypatch, capsys):
+        self._populate(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--max-bytes", "0"]) == 0
+        assert json.loads(capsys.readouterr().out)["evicted"] >= 1
+        assert main(["cache", "clear"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 0
+
+    def test_verify_clean_store(self, tmp_path, monkeypatch, capsys):
+        self._populate(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["cache", "verify"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corrupt"] == 0
+        assert payload["checked"] >= 1
+
+    def test_verify_no_repair_flags_corruption(self, tmp_path,
+                                               monkeypatch, capsys):
+        cache_dir = self._populate(tmp_path, monkeypatch)
+        victim = next((cache_dir / "objects").rglob("*.json"))
+        victim.write_text("broken")
+        capsys.readouterr()
+        assert main(["cache", "verify", "--no-repair"]) == 1
+        assert json.loads(capsys.readouterr().out)["corrupt"] == 1
+        assert victim.exists()  # report-only: entry kept
+        assert main(["cache", "verify"]) == 0  # repair drops it
+        assert not victim.exists()
+
+    def test_no_cache_flag_bypasses_the_store(self, tmp_path,
+                                              monkeypatch, capsys):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert main(["sweep", "quadrocopter", "--param", "mdata_mb",
+                     "--values", "1,5", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+
 class TestChaosJsonManifest:
     CHAOS_ARGS = ["chaos", "quadrocopter", "--outage", "5:3", "--seed", "7"]
 
@@ -269,12 +427,30 @@ class TestChaosJsonManifest:
         assert payload["metrics"]["counters"]["faults.link_outage"] == 1
         assert payload["seeds"] == {"chaos": 7}
 
+    @staticmethod
+    def _unstamped(document: str) -> str:
+        """The manifest bytes with the CLI's wall-clock stamp removed.
+
+        ``created_unix_s`` is the only manifest field allowed to differ
+        across replays — it is stamped at the CLI boundary, below which
+        the chaos pipeline stays byte-deterministic.
+        """
+        payload = json.loads(document)
+        payload["created_unix_s"] = None
+        return json.dumps(payload, sort_keys=True)
+
     def test_chaos_json_replays_identically(self, capsys):
         assert main(self.CHAOS_ARGS + ["--json"]) == 0
         first = capsys.readouterr().out
         assert main(self.CHAOS_ARGS + ["--json"]) == 0
         second = capsys.readouterr().out
-        assert first == second
+        assert self._unstamped(first) == self._unstamped(second)
+
+    def test_chaos_json_stamps_creation_time(self, capsys):
+        assert main(self.CHAOS_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload["created_unix_s"], float)
+        assert payload["created_unix_s"] > 0
 
     def test_chaos_json_matches_library_bytes(self, capsys):
         from repro.api import FaultPlan, chaos
@@ -283,4 +459,7 @@ class TestChaosJsonManifest:
         cli_line = capsys.readouterr().out
         plan = FaultPlan(name="cli", seed=7).with_outage(5.0, 3.0)
         result = chaos(plan, scenario_name="quadrocopter", seed=7)
-        assert cli_line == result.manifest.to_json() + "\n"
+        assert (
+            self._unstamped(cli_line.rstrip("\n"))
+            == self._unstamped(result.manifest.to_json())
+        )

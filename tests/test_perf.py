@@ -1,10 +1,24 @@
 """Tests for the perf telemetry accumulator."""
 
 import pickle
+import time
 
 import pytest
 
-from repro.perf import PerfTelemetry
+from repro.perf import PerfTelemetry, unix_clock, wall_clock
+
+
+class TestSanctionedClocks:
+    """The RL102/RL106 allowlist: repro.perf owns the clock aliases."""
+
+    def test_wall_clock_is_perf_counter(self):
+        assert wall_clock is time.perf_counter
+
+    def test_unix_clock_is_epoch_time(self):
+        assert unix_clock is time.time
+        stamp = unix_clock()
+        assert isinstance(stamp, float)
+        assert stamp > 0
 
 
 class TestPerfTelemetry:
