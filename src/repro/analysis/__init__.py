@@ -16,8 +16,22 @@ The rules (see :mod:`repro.analysis.base` and docs/STATIC_ANALYSIS.md):
 * **RL107 store-atomic-io** — file writes under :mod:`repro.store`
   flow through the tmp+rename helpers in ``store/atomic.py``, never
   direct ``open()``/``os.open``/``Path.write_*`` calls.
+* **RL108 fingerprint-completeness** — each ``*_CODE_MODULES`` tuple
+  in :mod:`repro.store.fingerprint` covers the static import closure
+  of its entry module (a gap is a stale-cache bug).
+* **RL109 determinism-taint** — wall-clock/entropy/env reads never
+  flow into solver results, manifests or store keys except via the
+  sanctioned :mod:`repro.perf` / seeded-stream APIs.
+* **RL110 obs-guard-discipline** — hot-path ``obs.*`` call sites sit
+  behind the ``obs is None`` zero-cost guard.
 
-Run it as ``repro lint [--json] [--rule RL10x ...]``, or from code::
+RL105/RL108/RL109 are *whole-program* rules built on the import graph
+and module summaries in :mod:`repro.analysis.graph`.  The runner is
+incremental: with the result store enabled, per-file records are
+cached by content hash and warm runs re-check only changed files.
+
+Run it as ``repro lint [--json] [--sarif FILE] [--changed]
+[--rule RL10x ...]``, or from code::
 
     from repro.analysis import run_lint
     report = run_lint()
@@ -34,6 +48,18 @@ from .checkers import (  # noqa: F401  (registers RL101-RL104, RL106-RL107)
     UnitSuffixChecker,
     WallClockDisciplineChecker,
 )
+from .graph import (  # noqa: F401
+    ImportGraph,
+    ModuleSummary,
+    Program,
+    module_name,
+    summarize_module,
+)
+from .graphrules import (  # noqa: F401  (registers RL108-RL110)
+    DeterminismTaintChecker,
+    FingerprintCompletenessChecker,
+    ObsGuardChecker,
+)
 from .parity import BatchTwinParityChecker, ParityPair  # noqa: F401
 from .suppress import split_suppressed, suppressions_for_source  # noqa: F401
 from .runner import (  # noqa: F401
@@ -44,6 +70,7 @@ from .runner import (  # noqa: F401
     lint_sources,
     run_lint,
 )
+from .reporters import sarif_json, sarif_report, write_sarif  # noqa: F401
 
 __all__ = [
     "Finding",
@@ -55,8 +82,17 @@ __all__ = [
     "UnitSuffixChecker",
     "FloatEqualityChecker",
     "WallClockDisciplineChecker",
+    "StoreAtomicIoChecker",
     "BatchTwinParityChecker",
+    "FingerprintCompletenessChecker",
+    "DeterminismTaintChecker",
+    "ObsGuardChecker",
     "ParityPair",
+    "ImportGraph",
+    "ModuleSummary",
+    "Program",
+    "module_name",
+    "summarize_module",
     "split_suppressed",
     "suppressions_for_source",
     "LintReport",
@@ -65,4 +101,7 @@ __all__ = [
     "default_root",
     "default_baseline_path",
     "BASELINE_FILENAME",
+    "sarif_report",
+    "sarif_json",
+    "write_sarif",
 ]

@@ -20,19 +20,32 @@ RL106     wall-clock discipline — instrumentation outside
           :data:`repro.perf.wall_clock`
 RL107     store-atomic-io — file writes under :mod:`repro.store` flow
           through the tmp+rename helpers in ``store/atomic.py``
+RL108     fingerprint-completeness — the static import closure of each
+          cacheable entry point is covered by the matching
+          ``*_CODE_MODULES`` tuple in :mod:`repro.store.fingerprint`
+RL109     determinism-taint — wall-clock/entropy/env reads never reach
+          solver results, manifests or store keys except via the
+          sanctioned :mod:`repro.perf` / seeded-stream APIs
+RL110     obs-guard discipline — ``obs.*`` call sites in hot-path
+          modules sit behind the ``obs is None`` zero-cost pattern
 ========  ============================================================
 
 Checkers come in two shapes: *module* checkers (see
 :class:`ModuleChecker`) visit one file at a time; *tree* checkers (see
-:class:`TreeChecker`) see every parsed module at once, which RL105
-needs to pair classes across files.
+:class:`TreeChecker`) receive the whole :class:`~repro.analysis.graph.Program`
+— every module's summary plus the import graph — which RL105 needs to
+pair classes across files and RL108/RL109 need for closure and taint
+context.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import Program
 
 __all__ = [
     "Finding",
@@ -68,6 +81,9 @@ class Finding:
     #: The stripped source line, used for baseline fingerprinting so
     #: findings survive unrelated line-number drift.
     snippet: str = ""
+    #: ``"error"`` findings fail the run; ``"warning"`` findings are
+    #: reported (and SARIF-annotated) but do not flip ``LintReport.ok``.
+    severity: str = "error"
 
     @property
     def fingerprint(self) -> Tuple[str, str, str]:
@@ -82,6 +98,7 @@ class Finding:
             "line": self.line,
             "message": self.message,
             "snippet": self.snippet,
+            "severity": self.severity,
         }
 
     @classmethod
@@ -93,6 +110,7 @@ class Finding:
             line=int(payload.get("line", 0)),
             message=str(payload.get("message", "")),
             snippet=str(payload.get("snippet", "")),
+            severity=str(payload.get("severity", "error")),
         )
 
 
@@ -116,7 +134,13 @@ class ModuleInfo:
             return self.lines[line - 1].strip()
         return ""
 
-    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        severity: str = "error",
+    ) -> Finding:
         """Build a :class:`Finding` anchored at ``node``."""
         line = getattr(node, "lineno", 0)
         return Finding(
@@ -125,6 +149,7 @@ class ModuleInfo:
             line=line,
             message=message,
             snippet=self.snippet(line),
+            severity=severity,
         )
 
 
@@ -139,12 +164,18 @@ class ModuleChecker:
 
 
 class TreeChecker:
-    """Base for checkers that need the whole tree (cross-file rules)."""
+    """Base for checkers that need the whole program (cross-file rules).
+
+    Tree checkers consume :class:`~repro.analysis.graph.ModuleSummary`
+    data — plain serialisable facts, not ASTs — so the incremental
+    runner can feed them from the per-file cache without re-parsing
+    unchanged files.
+    """
 
     rule: Rule
 
-    def check_tree(self, modules: Dict[str, ModuleInfo]) -> List[Finding]:
-        """Findings across all parsed files."""
+    def check_program(self, program: "Program") -> List[Finding]:
+        """Findings across the whole linted tree."""
         raise NotImplementedError
 
 

@@ -24,15 +24,19 @@ rule:
 
 Classes whose scalar half would be ambiguous (several same-named
 classes in different packages) are skipped rather than guessed.
+
+The checker consumes the class/method surface recorded in each
+:class:`~repro.analysis.graph.ModuleSummary` — never raw ASTs — so the
+incremental runner can drive it entirely from cached summaries.
 """
 
 from __future__ import annotations
 
-import ast
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from .base import Finding, ModuleInfo, Rule, TreeChecker, register_checker
+from .base import Finding, Rule, TreeChecker, register_checker
+from .graph import ClassSummary, MethodSummary, Program
 
 __all__ = ["BatchTwinParityChecker", "ParityPair"]
 
@@ -59,26 +63,11 @@ class ParityPair:
 @dataclass
 class _ClassInfo:
     path: str
-    module: ModuleInfo
-    node: ast.ClassDef
-    #: method name -> (parameter names sans self, def line)
-    methods: Dict[str, Tuple[List[str], int]]
+    summary: ClassSummary
 
-
-def _method_params(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> List[str]:
-    args = fn.args
-    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
-    if names and names[0] in ("self", "cls"):
-        names = names[1:]
-    return names
-
-
-def _class_methods(node: ast.ClassDef) -> Dict[str, Tuple[List[str], int]]:
-    methods: Dict[str, Tuple[List[str], int]] = {}
-    for stmt in node.body:
-        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            methods[stmt.name] = (_method_params(stmt), stmt.lineno)
-    return methods
+    @property
+    def methods(self) -> Dict[str, MethodSummary]:
+        return self.summary.methods
 
 
 def _strip_batch_only(params: List[str]) -> List[str]:
@@ -124,19 +113,17 @@ class BatchTwinParityChecker(TreeChecker):
     )
 
     def __init__(self) -> None:
-        #: Pairings verified by the last :meth:`check_tree` run.
+        #: Pairings verified by the last :meth:`check_program` run.
         self.pairs: List[ParityPair] = []
 
     # ------------------------------------------------------------------
-    def check_tree(self, modules: Dict[str, ModuleInfo]) -> List[Finding]:
-        classes = self._collect_classes(modules)
+    def check_program(self, program: Program) -> List[Finding]:
+        classes = self._collect_classes(program)
         findings: List[Finding] = []
         self.pairs = []
         for name, infos in sorted(classes.items()):
             for info in infos:
-                findings.extend(
-                    self._check_method_twins(name, info)
-                )
+                findings.extend(self._check_method_twins(name, info))
                 if name.startswith("Batch") and len(name) > len("Batch"):
                     findings.extend(
                         self._check_class_twin(name, info, classes)
@@ -145,22 +132,13 @@ class BatchTwinParityChecker(TreeChecker):
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _collect_classes(
-        modules: Dict[str, ModuleInfo]
-    ) -> Dict[str, List[_ClassInfo]]:
+    def _collect_classes(program: Program) -> Dict[str, List[_ClassInfo]]:
         classes: Dict[str, List[_ClassInfo]] = {}
-        for path in sorted(modules):
-            module = modules[path]
-            for node in ast.walk(module.tree):
-                if isinstance(node, ast.ClassDef):
-                    classes.setdefault(node.name, []).append(
-                        _ClassInfo(
-                            path=path,
-                            module=module,
-                            node=node,
-                            methods=_class_methods(node),
-                        )
-                    )
+        for path in sorted(program.summaries):
+            for cls in program.summaries[path].classes:
+                classes.setdefault(cls.name, []).append(
+                    _ClassInfo(path=path, summary=cls)
+                )
         return classes
 
     @staticmethod
@@ -205,7 +183,7 @@ class BatchTwinParityChecker(TreeChecker):
             )
         )
         findings: List[Finding] = []
-        for method, (scalar_params, _line) in sorted(scalar.methods.items()):
+        for method, scalar_method in sorted(scalar.methods.items()):
             explicit_init = method == "__init__"
             if method.startswith("_") and not explicit_init:
                 continue
@@ -214,28 +192,36 @@ class BatchTwinParityChecker(TreeChecker):
             mirror = self._find_mirror(method, batch)
             if mirror is None:
                 findings.append(
-                    batch.module.finding(
-                        self.rule.id,
-                        batch.node,
-                        f"{batch_name} does not mirror scalar twin "
-                        f"method {scalar_name}.{method}() "
-                        f"(expected '{method}', '{method}_batch' or "
-                        f"'{method}_array')",
+                    Finding(
+                        rule=self.rule.id,
+                        path=batch.path,
+                        line=batch.summary.line,
+                        message=(
+                            f"{batch_name} does not mirror scalar twin "
+                            f"method {scalar_name}.{method}() "
+                            f"(expected '{method}', '{method}_batch' or "
+                            f"'{method}_array')"
+                        ),
+                        snippet=batch.summary.snippet,
                     )
                 )
                 continue
-            mirror_name, (batch_params, line) = mirror
-            stripped = _strip_batch_only(batch_params)
-            if not _params_match(scalar_params, stripped):
-                anchor = _LineAnchor(line)
+            mirror_name, batch_method = mirror
+            stripped = _strip_batch_only(batch_method.params)
+            if not _params_match(scalar_method.params, stripped):
                 findings.append(
-                    batch.module.finding(
-                        self.rule.id,
-                        anchor,
-                        f"{batch_name}.{mirror_name}({', '.join(stripped)}) "
-                        f"does not match scalar twin "
-                        f"{scalar_name}.{method}({', '.join(scalar_params)}) "
-                        "modulo the array dimension",
+                    Finding(
+                        rule=self.rule.id,
+                        path=batch.path,
+                        line=batch_method.line,
+                        message=(
+                            f"{batch_name}.{mirror_name}"
+                            f"({', '.join(stripped)}) does not match "
+                            f"scalar twin {scalar_name}.{method}"
+                            f"({', '.join(scalar_method.params)}) "
+                            "modulo the array dimension"
+                        ),
+                        snippet=batch_method.snippet,
                     )
                 )
         return findings
@@ -243,7 +229,7 @@ class BatchTwinParityChecker(TreeChecker):
     @staticmethod
     def _find_mirror(
         method: str, batch: _ClassInfo
-    ) -> Optional[Tuple[str, Tuple[List[str], int]]]:
+    ) -> "Optional[tuple[str, MethodSummary]]":
         for suffix in _MIRROR_SUFFIXES:
             candidate = method + suffix
             if candidate in batch.methods:
@@ -256,14 +242,14 @@ class BatchTwinParityChecker(TreeChecker):
     ) -> List[Finding]:
         """``m_array``/``m_batch`` methods must match their base ``m``."""
         findings: List[Finding] = []
-        for method, (batch_params, line) in sorted(info.methods.items()):
+        for method, batch_method in sorted(info.methods.items()):
             for suffix in ("_array", "_batch"):
                 if not method.endswith(suffix):
                     continue
                 base = method[: -len(suffix)]
                 if not base or base not in info.methods:
                     continue
-                scalar_params, _base_line = info.methods[base]
+                scalar_method = info.methods[base]
                 self.pairs.append(
                     ParityPair(
                         kind="method",
@@ -271,24 +257,22 @@ class BatchTwinParityChecker(TreeChecker):
                         batch=f"{info.path}::{class_name}.{method}",
                     )
                 )
-                stripped = _strip_batch_only(batch_params)
-                if not _params_match(scalar_params, stripped):
+                stripped = _strip_batch_only(batch_method.params)
+                if not _params_match(scalar_method.params, stripped):
                     findings.append(
-                        info.module.finding(
-                            self.rule.id,
-                            _LineAnchor(line),
-                            f"{class_name}.{method}"
-                            f"({', '.join(stripped)}) does not match its "
-                            f"scalar base {class_name}.{base}"
-                            f"({', '.join(scalar_params)}) modulo the "
-                            "array dimension",
+                        Finding(
+                            rule=self.rule.id,
+                            path=info.path,
+                            line=batch_method.line,
+                            message=(
+                                f"{class_name}.{method}"
+                                f"({', '.join(stripped)}) does not "
+                                f"match its scalar base "
+                                f"{class_name}.{base}"
+                                f"({', '.join(scalar_method.params)}) "
+                                "modulo the array dimension"
+                            ),
+                            snippet=batch_method.snippet,
                         )
                     )
         return findings
-
-
-class _LineAnchor:
-    """Minimal stand-in for an AST node at a known line."""
-
-    def __init__(self, lineno: int) -> None:
-        self.lineno = lineno

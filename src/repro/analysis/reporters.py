@@ -1,0 +1,170 @@
+"""SARIF 2.1.0 output for ``reprolint`` (CI inline annotation).
+
+GitHub's ``codeql-action/upload-sarif`` turns a SARIF log into inline
+PR annotations, so RL1xx findings land on the offending line instead
+of in a buried job log.  One run per report: the driver is
+``reprolint``, its rules come from the registry, results carry the
+severity mapping (error → ``error``, warning → ``warning``); findings
+absorbed by the committed baseline or an inline ``# reprolint:
+disable`` comment are emitted as suppressed ``note`` results so the
+history stays visible without failing the code-scanning gate.
+
+Serialisation is deterministic (sorted keys, fixed field order from
+the report, no timestamps): a warm cache run produces byte-identical
+SARIF to a cold one, which CI asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .base import Finding, all_rules
+from .runner import LintReport
+
+__all__ = ["sarif_report", "sarif_json", "write_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "docs/STATIC_ANALYSIS.md"
+
+
+def _level(finding: Finding) -> str:
+    return "warning" if finding.severity == "warning" else "error"
+
+
+def _fingerprint(finding: Finding) -> str:
+    digest = hashlib.sha256(
+        "\0".join(finding.fingerprint).encode("utf-8")
+    ).hexdigest()
+    return digest[:24]
+
+
+def _result(
+    finding: Finding,
+    rule_index: Dict[str, int],
+    uri_prefix: str,
+    suppression: Optional[str] = None,
+) -> Dict[str, object]:
+    uri = (
+        f"{uri_prefix}/{finding.path}" if uri_prefix else finding.path
+    )
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index.get(finding.rule, -1),
+        "level": "note" if suppression is not None else _level(finding),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {"startLine": max(1, finding.line)},
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reprolint/v1": _fingerprint(finding),
+        },
+    }
+    if suppression is not None:
+        result["suppressions"] = [{"kind": suppression}]
+    return result
+
+
+def _derive_prefix(report: LintReport) -> str:
+    """Repo-relative path prefix of the linted root, when derivable.
+
+    SARIF URIs must be relative to the repository checkout for GitHub
+    to anchor annotations; when lint ran on ``<repo>/src/repro`` from
+    ``<repo>``, findings at ``engine/batch.py`` need the
+    ``src/repro/`` prefix.  Roots outside the working directory (or
+    synthetic ``<memory>`` roots) get no prefix.
+    """
+    root = report.root
+    if root.startswith("<"):
+        return ""
+    try:
+        relative = Path(root).resolve().relative_to(Path.cwd().resolve())
+    except (OSError, ValueError):
+        return ""
+    prefix = relative.as_posix()
+    return "" if prefix == "." else prefix
+
+
+def sarif_report(
+    report: LintReport, uri_prefix: Optional[str] = None
+) -> Dict[str, object]:
+    """The SARIF document (as a dict) for one lint report."""
+    if uri_prefix is None:
+        uri_prefix = _derive_prefix(report)
+    uri_prefix = uri_prefix.rstrip("/")
+    selected = set(report.rules)
+    rules_meta: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for rule in all_rules():
+        if rule.id not in selected:
+            continue
+        rule_index[rule.id] = len(rules_meta)
+        rules_meta.append(
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "helpUri": _INFO_URI,
+            }
+        )
+    results: List[Dict[str, object]] = []
+    for finding in report.new_findings:
+        results.append(_result(finding, rule_index, uri_prefix))
+    for finding in report.baselined:
+        results.append(
+            _result(finding, rule_index, uri_prefix, suppression="external")
+        )
+    for finding in report.suppressed:
+        results.append(
+            _result(finding, rule_index, uri_prefix, suppression="inSource")
+        )
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": _INFO_URI,
+                        "rules": rules_meta,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(
+    report: LintReport, uri_prefix: Optional[str] = None
+) -> str:
+    """Deterministic SARIF serialisation (sorted keys, trailing newline)."""
+    document = sarif_report(report, uri_prefix=uri_prefix)
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_sarif(
+    report: LintReport,
+    path: Path,
+    uri_prefix: Optional[str] = None,
+) -> Path:
+    """Write the SARIF log to ``path`` (parents created)."""
+    path = Path(path)
+    if path.parent and not path.parent.is_dir():
+        os.makedirs(path.parent, exist_ok=True)
+    path.write_text(sarif_json(report, uri_prefix=uri_prefix), encoding="utf-8")
+    return path

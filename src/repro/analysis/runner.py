@@ -1,26 +1,48 @@
-"""The ``reprolint`` runner: walk, parse, check, filter, report.
+"""The ``reprolint`` runner: walk, check (incrementally), filter, report.
 
 :func:`run_lint` is the single entry point used by the ``repro lint``
-CLI subcommand, CI and the tests.  It walks a source tree, parses every
-``.py`` file once, runs the selected checkers (module-level rules per
-file, tree-level rules across all files), then filters findings
-through per-line suppression comments and the committed baseline.
+CLI subcommand, CI and the tests.  It walks a source tree and produces
+one *record* per file — the module-rule findings, the inline
+suppressions, and the :class:`~repro.analysis.graph.ModuleSummary`
+that the whole-program rules consume.  Records are plain JSON, which
+buys two things:
+
+**Incremental runs.**  With a :class:`~repro.store.ResultStore`
+enabled (``REPRO_CACHE_DIR``/``REPRO_CACHE=1``, or an explicit
+``cache=``), each record is cached under a key derived from the file's
+content hash, the module-rule set and the analysis package's own code
+fingerprint (:data:`~repro.store.fingerprint.ANALYSIS_CODE_MODULES`) —
+so a warm run re-parses only changed files and a lint-code change
+invalidates everything.  Tree rules (RL105/RL108/RL109) always re-run,
+but they read summaries, never source, so the warm path does zero
+parsing for unchanged files and the report is byte-identical to a cold
+run (telemetry aside).
+
+**Parallel cold runs.**  Cache misses are parsed and checked in a
+``ProcessPoolExecutor`` once there are enough of them to pay for the
+fork (``jobs=`` controls the width; ``jobs=1`` forces serial).
 
 Wall-clock per stage is charged to a :class:`repro.perf.PerfTelemetry`
-(``walk`` / ``parse`` / ``check:<rule>`` / ``filter``), surfaced in the
-``--json`` report so lint runtime regressions show up next to the
-engine benchmarks.
+(``walk`` / ``cache`` / ``parse`` / ``check:<tree-rule>`` /
+``filter``), surfaced in the ``--json`` report so lint runtime
+regressions show up next to the engine benchmarks.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
+import os
+import subprocess
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..perf import PerfTelemetry
+from ..store.fingerprint import ANALYSIS_CODE_MODULES, config_key
+from ..store.store import ResultStore, resolve_store
 from .base import (
     Finding,
     ModuleChecker,
@@ -30,6 +52,7 @@ from .base import (
     checkers_for,
 )
 from .baseline import Baseline
+from .graph import ModuleSummary, Program, summarize_module
 from .parity import BatchTwinParityChecker, ParityPair
 from .suppress import split_suppressed, suppressions_for_source
 
@@ -44,6 +67,17 @@ __all__ = [
 
 BASELINE_FILENAME = ".reprolint-baseline.json"
 
+#: Bumped whenever the per-file record layout changes, so stale cache
+#: entries from an older reprolint simply miss.
+_RECORD_VERSION = 1
+
+#: Below this many cache misses the fork overhead of a process pool
+#: outweighs the parallel parse; stay serial.
+_PARALLEL_MIN_FILES = 16
+
+#: Upper bound on auto-selected worker processes.
+_MAX_JOBS = 8
+
 
 def default_root() -> Path:
     """The installed ``repro`` package — the tree the invariants govern."""
@@ -55,13 +89,14 @@ def default_baseline_path(root: Path) -> Optional[Path]:
 
     Checks the working directory first (the checkout the developer is
     in), then walks up from the linted root (``src/repro`` →
-    ``src`` → repo root), returning the first baseline file found.
+    ``src`` → repo root → ... → filesystem root), returning the first
+    baseline file found.
     """
     candidates = [Path.cwd() / BASELINE_FILENAME]
     candidates += [
         parent / BASELINE_FILENAME for parent in Path(root).resolve().parents
     ]
-    for candidate in candidates[:4]:
+    for candidate in candidates:
         if candidate.is_file():
             return candidate
     return None
@@ -76,7 +111,7 @@ class LintReport:
     rules: List[str]
     #: All findings that survived inline suppression.
     findings: List[Finding]
-    #: Findings not covered by the baseline — these fail the run.
+    #: Findings not covered by the baseline — errors fail the run.
     new_findings: List[Finding]
     #: Findings absorbed by the committed baseline.
     baselined: List[Finding]
@@ -86,11 +121,23 @@ class LintReport:
     parity_pairs: List[ParityPair]
     checked_files: int
     telemetry: PerfTelemetry = field(default_factory=PerfTelemetry)
+    #: True when findings were filtered to git-changed files only.
+    changed_only: bool = False
+
+    @property
+    def errors(self) -> List[Finding]:
+        """New findings at error severity (the ones that gate CI)."""
+        return [f for f in self.new_findings if f.severity != "warning"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """New findings at warning severity (reported, non-fatal)."""
+        return [f for f in self.new_findings if f.severity == "warning"]
 
     @property
     def ok(self) -> bool:
-        """True when nothing new was found (the CI gate)."""
-        return not self.new_findings
+        """True when nothing new at error severity (the CI gate)."""
+        return not self.errors
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -100,9 +147,12 @@ class LintReport:
             "rules": list(self.rules),
             "ok": self.ok,
             "checked_files": self.checked_files,
+            "changed_only": self.changed_only,
             "counts": {
                 "findings": len(self.findings),
                 "new": len(self.new_findings),
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
                 "baselined": len(self.baselined),
                 "suppressed": len(self.suppressed),
                 "parity_pairs": len(self.parity_pairs),
@@ -120,11 +170,14 @@ class LintReport:
     def summary_lines(self) -> List[str]:
         """Human-readable report: one line per new finding + a summary."""
         lines = [
-            f"{f.path}:{f.line}: {f.rule} {f.message}"
+            f"{f.path}:{f.line}: {f.rule} "
+            + ("[warning] " if f.severity == "warning" else "")
+            + f.message
             for f in self.new_findings
         ]
         lines.append(
-            f"reprolint: {len(self.new_findings)} new finding(s), "
+            f"reprolint: {len(self.errors)} new error(s), "
+            f"{len(self.warnings)} warning(s), "
             f"{len(self.baselined)} baselined, "
             f"{len(self.suppressed)} suppressed, "
             f"{len(self.parity_pairs)} parity pair(s) verified "
@@ -135,6 +188,128 @@ class LintReport:
 
 
 # ----------------------------------------------------------------------
+# Per-file records (the cacheable unit)
+# ----------------------------------------------------------------------
+
+def _check_file_record(
+    path: str, source: str, module_rule_ids: Sequence[str]
+) -> Dict[str, object]:
+    """Parse one file and run the module-level rules over it.
+
+    The result is plain JSON — findings, inline suppressions and the
+    module summary — so it can live in the content-addressed store and
+    feed the tree rules on warm runs without re-parsing.
+    """
+    tree = ast.parse(source, filename=path)
+    module = ModuleInfo(path=path, source=source, tree=tree)
+    findings: List[Finding] = []
+    if module_rule_ids:
+        for checker in checkers_for(list(module_rule_ids)):
+            findings.extend(checker.check_module(module))
+    suppressions = suppressions_for_source(source)
+    return {
+        "version": _RECORD_VERSION,
+        "findings": [f.to_dict() for f in findings],
+        "suppressions": {
+            str(line): (sorted(rules) if rules is not None else None)
+            for line, rules in suppressions.items()
+        },
+        "summary": summarize_module(module).to_dict(),
+    }
+
+
+def _check_file_worker(
+    item: "Tuple[str, str, Tuple[str, ...]]"
+) -> "Tuple[str, Dict[str, object]]":
+    path, source, module_rule_ids = item
+    return path, _check_file_record(path, source, module_rule_ids)
+
+
+def _valid_record(body: object) -> bool:
+    return (
+        isinstance(body, dict)
+        and body.get("version") == _RECORD_VERSION
+        and isinstance(body.get("findings"), list)
+        and isinstance(body.get("suppressions"), dict)
+        and isinstance(body.get("summary"), dict)
+    )
+
+
+def _record_key(
+    path: str, source: str, module_rule_ids: Sequence[str]
+) -> str:
+    """Store key for one file's record.
+
+    Keyed on the file's content hash, the module-rule set and (via
+    ``ANALYSIS_CODE_MODULES``) the fingerprint of the analysis package
+    itself — editing any checker invalidates every cached record.
+    """
+    sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return config_key(
+        "lint-file",
+        {
+            "path": path,
+            "sha256": sha,
+            "rules": list(module_rule_ids),
+            "record": _RECORD_VERSION,
+        },
+        ANALYSIS_CODE_MODULES,
+    )
+
+
+def _decode_suppressions(
+    payload: Dict[str, object]
+) -> Dict[int, Optional[Set[str]]]:
+    out: Dict[int, Optional[Set[str]]] = {}
+    for line, rules in payload.items():
+        out[int(line)] = None if rules is None else {str(r) for r in rules}
+    return out
+
+
+# ----------------------------------------------------------------------
+# Checking (serial or process pool)
+# ----------------------------------------------------------------------
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is not None:
+        return max(1, int(jobs))
+    return max(1, min(_MAX_JOBS, os.cpu_count() or 1))
+
+
+def _check_files(
+    items: "List[Tuple[str, str]]",
+    module_rule_ids: Sequence[str],
+    jobs: Optional[int],
+    telemetry: PerfTelemetry,
+) -> Dict[str, Dict[str, object]]:
+    if not items:
+        return {}
+    n_jobs = _resolve_jobs(jobs)
+    if n_jobs > 1 and len(items) >= _PARALLEL_MIN_FILES:
+        payload = [
+            (path, source, tuple(module_rule_ids)) for path, source in items
+        ]
+        chunksize = max(1, len(items) // (n_jobs * 4))
+        try:
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                results = dict(
+                    pool.map(_check_file_worker, payload, chunksize=chunksize)
+                )
+            telemetry.count("lint.parallel.files", len(items))
+            return results
+        except (OSError, RuntimeError):
+            # Pool creation/teardown failed (sandboxed env, dead
+            # worker): degrade to the serial path below.
+            pass
+    return {
+        path: _check_file_record(path, source, module_rule_ids)
+        for path, source in items
+    }
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
 
 def _walk_tree(root: Path) -> List[Path]:
     return sorted(
@@ -142,19 +317,63 @@ def _walk_tree(root: Path) -> List[Path]:
     )
 
 
-def _parse_modules(
-    root: Path, files: List[Path], telemetry: PerfTelemetry
-) -> Dict[str, ModuleInfo]:
-    modules: Dict[str, ModuleInfo] = {}
-    with telemetry.stage("parse"):
-        for path in files:
-            relative = path.relative_to(root).as_posix()
-            source = path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=str(path))
-            modules[relative] = ModuleInfo(
-                path=relative, source=source, tree=tree
-            )
-    return modules
+def _split_rules(
+    rules: Optional[List[str]],
+) -> "Tuple[List[str], List[TreeChecker]]":
+    """(module rule IDs, tree checker instances) for a rule selection."""
+    selected = checkers_for(rules)
+    module_ids = sorted(
+        c.rule.id for c in selected if isinstance(c, ModuleChecker)
+    )
+    tree_checkers = [c for c in selected if isinstance(c, TreeChecker)]
+    return module_ids, tree_checkers
+
+
+def _changed_files(root: Path) -> Optional[Set[str]]:
+    """Root-relative paths git considers modified, or ``None``.
+
+    ``None`` means "could not tell" (no git, not a checkout, no HEAD
+    yet) and callers fall back to a full run.  Changed = unstaged +
+    staged edits vs HEAD plus untracked files.
+    """
+    resolved = root.resolve()
+
+    def _git(*args: str) -> "subprocess.CompletedProcess[str]":
+        return subprocess.run(
+            ["git", "-C", str(resolved), *args],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+
+    try:
+        top = _git("rev-parse", "--show-toplevel")
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if top.returncode != 0 or not top.stdout.strip():
+        return None
+    top_path = Path(top.stdout.strip())
+    changed: Set[str] = set()
+    for args in (
+        ("diff", "--name-only", "HEAD"),
+        ("ls-files", "--others", "--exclude-standard"),
+    ):
+        try:
+            proc = _git(*args)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if proc.returncode != 0:
+            return None
+        for line in proc.stdout.splitlines():
+            name = line.strip()
+            if not name:
+                continue
+            try:
+                rel = (top_path / name).resolve().relative_to(resolved)
+            except (OSError, ValueError):
+                continue
+            changed.add(rel.as_posix())
+    return changed
 
 
 def lint_sources(
@@ -163,13 +382,12 @@ def lint_sources(
     baseline: Optional[Baseline] = None,
 ) -> LintReport:
     """Lint in-memory ``{relative_path: source}`` (fixture-friendly)."""
-    modules = {
-        path: ModuleInfo(path=path, source=source, tree=ast.parse(source))
-        for path, source in sources.items()
+    module_ids, _tree = _split_rules(rules)
+    records = {
+        path: _check_file_record(path, sources[path], module_ids)
+        for path in sorted(sources)
     }
-    return _lint_modules(
-        modules, root="<memory>", rules=rules, baseline=baseline
-    )
+    return _assemble(records, root="<memory>", rules=rules, baseline=baseline)
 
 
 def run_lint(
@@ -178,12 +396,25 @@ def run_lint(
     baseline_path: Optional[Path] = None,
     use_baseline: bool = True,
     telemetry: Optional[PerfTelemetry] = None,
+    cache: "Union[None, bool, ResultStore]" = None,
+    refresh: bool = False,
+    jobs: Optional[int] = None,
+    changed_only: bool = False,
 ) -> LintReport:
     """Lint a source tree on disk.
 
     ``baseline_path=None`` with ``use_baseline=True`` auto-discovers a
     committed ``.reprolint-baseline.json`` via
     :func:`default_baseline_path`.
+
+    ``cache`` follows :func:`repro.store.resolve_store` semantics:
+    ``None`` honours the ``REPRO_CACHE*`` environment, ``True`` forces
+    the default store, ``False`` disables caching, and a
+    :class:`~repro.store.ResultStore` is used as-is.  ``refresh=True``
+    ignores (and rewrites) existing records.  ``changed_only=True``
+    restricts *reported* findings to files git considers modified —
+    the analysis still sees the whole tree, so cross-file rules stay
+    sound — and falls back to a full report outside a git checkout.
     """
     telemetry = telemetry if telemetry is not None else PerfTelemetry()
     root = Path(root) if root is not None else default_root()
@@ -191,59 +422,112 @@ def run_lint(
         raise FileNotFoundError(f"lint root {root} is not a directory")
     with telemetry.stage("walk"):
         files = _walk_tree(root)
-    modules = _parse_modules(root, files, telemetry)
+        sources = {
+            path.relative_to(root).as_posix(): path.read_text(
+                encoding="utf-8"
+            )
+            for path in files
+        }
+    store = resolve_store(cache)
+    module_ids, _tree = _split_rules(rules)
+
+    records: Dict[str, Dict[str, object]] = {}
+    stale: List[str] = []
+    keys: Dict[str, str] = {}
+    with telemetry.stage("cache"):
+        if store is not None:
+            keys = {
+                rel: _record_key(rel, source, module_ids)
+                for rel, source in sources.items()
+            }
+            if refresh:
+                stale = list(sources)
+            else:
+                for rel in sources:
+                    body = store.get(keys[rel], touch=False)
+                    if _valid_record(body):
+                        records[rel] = body  # type: ignore[assignment]
+                    else:
+                        stale.append(rel)
+                store.touch_many([keys[rel] for rel in records])
+        else:
+            stale = list(sources)
+    with telemetry.stage("parse"):
+        fresh = _check_files(
+            [(rel, sources[rel]) for rel in stale],
+            module_ids,
+            jobs,
+            telemetry,
+        )
+    records.update(fresh)
+    if store is not None and fresh:
+        store.put_many({keys[rel]: fresh[rel] for rel in fresh})
+    telemetry.count("lint.cache.hits", len(records) - len(fresh))
+    telemetry.count("lint.cache.misses", len(fresh))
+
     baseline = None
     if use_baseline:
         if baseline_path is None:
             baseline_path = default_baseline_path(root)
         if baseline_path is not None:
             baseline = Baseline.load(Path(baseline_path))
-    return _lint_modules(
-        modules,
+    changed = _changed_files(root) if changed_only else None
+    return _assemble(
+        records,
         root=str(root),
         rules=rules,
         baseline=baseline,
         telemetry=telemetry,
+        changed=changed,
     )
 
 
-def _lint_modules(
-    modules: Dict[str, ModuleInfo],
+def _assemble(
+    records: Dict[str, Dict[str, object]],
     root: str,
     rules: Optional[List[str]] = None,
     baseline: Optional[Baseline] = None,
     telemetry: Optional[PerfTelemetry] = None,
+    changed: Optional[Set[str]] = None,
 ) -> LintReport:
+    """Tree rules + suppression/baseline filtering over file records."""
     telemetry = telemetry if telemetry is not None else PerfTelemetry()
-    checkers = checkers_for(rules)
-    raw: List[Finding] = []
+    _module_ids, tree_checkers = _split_rules(rules)
+    findings: List[Finding] = []
+    for rel in records:
+        findings.extend(
+            Finding.from_dict(payload)  # type: ignore[arg-type]
+            for payload in records[rel]["findings"]  # type: ignore[union-attr]
+        )
+    summaries = {
+        rel: ModuleSummary.from_dict(records[rel]["summary"])  # type: ignore[arg-type]
+        for rel in records
+    }
+    program = Program(root=root, summaries=summaries)
     parity_pairs: List[ParityPair] = []
-    for checker in checkers:
+    for checker in tree_checkers:
         with telemetry.stage(f"check:{checker.rule.id}"):
-            if isinstance(checker, ModuleChecker):
-                for module in modules.values():
-                    raw.extend(checker.check_module(module))
-            elif isinstance(checker, TreeChecker):
-                raw.extend(checker.check_tree(modules))
-                if isinstance(checker, BatchTwinParityChecker):
-                    parity_pairs = list(checker.pairs)
-            else:  # pragma: no cover - registry enforces the two bases
-                raise TypeError(f"unknown checker type {type(checker)!r}")
+            findings.extend(checker.check_program(program))
+            if isinstance(checker, BatchTwinParityChecker):
+                parity_pairs = list(checker.pairs)
     with telemetry.stage("filter"):
         per_file = {
-            path: suppressions_for_source(module.source)
-            for path, module in modules.items()
+            rel: _decode_suppressions(records[rel]["suppressions"])  # type: ignore[arg-type]
+            for rel in records
         }
-        raw.sort(key=lambda f: (f.path, f.line, f.rule))
-        active, suppressed = split_suppressed(raw, per_file)
+        if changed is not None:
+            findings = [f for f in findings if f.path in changed]
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        active, suppressed = split_suppressed(findings, per_file)
         if baseline is not None:
             new, baselined = baseline.split_new(active)
         else:
             new, baselined = list(active), []
-    telemetry.count("files", len(modules))
+    telemetry.count("files", len(records))
     telemetry.count("findings", len(active))
+    selected = checkers_for(rules)
     rule_ids = (
-        sorted({c.rule.id for c in checkers})
+        sorted({c.rule.id for c in selected})
         if rules is not None
         else [rule.id for rule in all_rules()]
     )
@@ -255,6 +539,7 @@ def _lint_modules(
         baselined=baselined,
         suppressed=suppressed,
         parity_pairs=parity_pairs,
-        checked_files=len(modules),
+        checked_files=len(records),
         telemetry=telemetry,
+        changed_only=changed is not None,
     )

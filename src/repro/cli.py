@@ -11,7 +11,7 @@ bench       Time the replica-batched campaign engine vs the scalar one.
 chaos       Run a solved mission under a deterministic fault plan.
 cache       Persistent result-store maintenance (stats/gc/clear/verify).
 obs         Observability utilities (``obs summarize`` digests manifests).
-lint        Run the reprolint domain-invariant checkers (RL101-RL107).
+lint        Run the reprolint domain-invariant checkers (RL101-RL110).
 
 ``solve``, ``sweep``, ``experiment``, ``bench``, ``chaos`` and ``lint``
 accept ``--json`` for machine-readable output.  ``bench --json`` and
@@ -25,10 +25,13 @@ additionally takes ``--trace`` (span digest) and ``--metrics-out
 FILE`` (write the run manifest); see docs/OBSERVABILITY.md,
 docs/PERFORMANCE.md, docs/ROBUSTNESS.md and docs/STATIC_ANALYSIS.md.
 
-``solve``, ``sweep``, ``bench`` and ``chaos`` take ``--no-cache`` /
-``--refresh`` to control the persistent result store (opt-in via
-``REPRO_CACHE_DIR`` / ``REPRO_CACHE=1``; see docs/PERFORMANCE.md,
-"Result store & incremental sweeps").
+``solve``, ``sweep``, ``bench``, ``chaos`` and ``lint`` take
+``--no-cache`` / ``--refresh`` to control the persistent result store
+(opt-in via ``REPRO_CACHE_DIR`` / ``REPRO_CACHE=1``; see
+docs/PERFORMANCE.md, "Result store & incremental sweeps").  ``lint``
+caches per-file analysis records, so warm runs re-check only changed
+files; ``lint --sarif FILE`` writes a SARIF 2.1.0 log for CI inline
+annotation and ``lint --changed`` reports only on git-modified files.
 
 The CLI talks to the library exclusively through the stable
 :mod:`repro.api` façade — no ``repro.core`` internals.
@@ -311,7 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the reprolint domain-invariant checkers (RL101-RL107)",
+        help="run the reprolint domain-invariant checkers (RL101-RL110)",
     )
     lint.add_argument(
         "--path", default=None, metavar="DIR",
@@ -339,6 +342,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one JSON report with findings and lint telemetry",
     )
+    lint.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="also write a SARIF 2.1.0 log (for CI inline annotation)",
+    )
+    lint.add_argument(
+        "--changed", action="store_true",
+        help="report findings only for files modified vs git "
+             "(full run outside a git checkout)",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for cold files (default: auto; 1 = serial)",
+    )
+    _add_cache_flags(lint)
     return parser
 
 
@@ -859,6 +876,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         default_baseline_path,
         default_root,
         run_lint,
+        write_sarif,
     )
 
     root = Path(args.path) if args.path else default_root()
@@ -868,7 +886,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         rules=args.rules,
         baseline_path=baseline_path,
         use_baseline=not args.no_baseline,
+        jobs=args.jobs,
+        changed_only=args.changed,
+        **_cache_kwargs(args),
     )
+    if args.sarif:
+        write_sarif(report, Path(args.sarif))
     if args.update_baseline:
         target = baseline_path or default_baseline_path(root)
         if target is None:

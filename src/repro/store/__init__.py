@@ -8,6 +8,7 @@ and degrades to plain recomputation on any filesystem trouble.
 
 from .atomic import FileLock, atomic_write_bytes, atomic_write_text
 from .fingerprint import (
+    ANALYSIS_CODE_MODULES,
     CAMPAIGN_CODE_MODULES,
     CHAOS_CODE_MODULES,
     SOLVER_CODE_MODULES,
@@ -33,6 +34,7 @@ from .store import (
 )
 
 __all__ = [
+    "ANALYSIS_CODE_MODULES",
     "CAMPAIGN_CODE_MODULES",
     "CHAOS_CODE_MODULES",
     "DEFAULT_MAX_BYTES",

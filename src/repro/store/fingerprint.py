@@ -30,6 +30,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "ANALYSIS_CODE_MODULES",
     "CAMPAIGN_CODE_MODULES",
     "CHAOS_CODE_MODULES",
     "SOLVER_CODE_MODULES",
@@ -41,6 +42,11 @@ __all__ = [
 #: Bumped on any backwards-incompatible change to store entry payloads.
 STORE_SCHEMA_VERSION = 1
 
+# The three result tuples below must cover the static import closure
+# of their entry module — reprolint rule RL108 (fingerprint-
+# completeness) verifies this on every lint run, so a new import in
+# the engine/campaign/chaos path fails CI until it is fingerprinted.
+
 #: Modules whose source shapes an Eq. 2 decision (point/sweep entries).
 SOLVER_CODE_MODULES = (
     "repro.engine.batch",
@@ -51,6 +57,8 @@ SOLVER_CODE_MODULES = (
     "repro.core.delay",
     "repro.core.failure",
     "repro.core.scenario",
+    "repro.core.mission",
+    "repro.airframe.platform",
     "repro.measurements.datasets",
 )
 
@@ -62,6 +70,7 @@ CAMPAIGN_CODE_MODULES = (
     "repro.channel",
     "repro.faults",
     "repro.sim",
+    "repro.mac",
 )
 
 #: Modules/packages whose source shapes a chaos run.
@@ -74,7 +83,15 @@ CHAOS_CODE_MODULES = (
     "repro.mission.ferry",
     "repro.core",
     "repro.engine",
+    "repro.airframe",
+    "repro.geo.coords",
+    "repro.mac",
+    "repro.measurements.datasets",
 )
+
+#: The analysis package itself — keys the per-file lint records, so
+#: editing any checker invalidates every cached lint result.
+ANALYSIS_CODE_MODULES = ("repro.analysis",)
 
 _CODE_FP_CACHE: Dict[Tuple[str, ...], str] = {}
 

@@ -33,7 +33,7 @@ def bad_tree(tmp_path):
 def test_clean_repo_exits_zero(capsys):
     assert main(["lint"]) == 0
     out = capsys.readouterr().out
-    assert "0 new finding(s)" in out
+    assert "0 new error(s)" in out
 
 
 def test_json_report_shape(capsys):
@@ -42,13 +42,17 @@ def test_json_report_shape(capsys):
     assert payload["ok"] is True
     assert payload["rules"] == [
         "RL101", "RL102", "RL103", "RL104", "RL105", "RL106", "RL107",
+        "RL108", "RL109", "RL110",
     ]
     assert payload["checked_files"] > 50
     assert payload["counts"]["new"] == 0
+    assert payload["counts"]["errors"] == 0
+    assert payload["counts"]["warnings"] == 0
     assert payload["counts"]["parity_pairs"] >= 5
     stages = payload["telemetry"]["stages"]
     assert "parse" in stages
     assert "check:RL105" in stages
+    assert "check:RL108" in stages
 
 
 def test_seeded_violations_exit_nonzero(bad_tree, capsys):

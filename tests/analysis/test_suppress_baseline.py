@@ -1,5 +1,6 @@
 """Suppression directives and baseline round-trip semantics."""
 
+import json
 import textwrap
 
 from repro.analysis import (
@@ -143,3 +144,68 @@ class TestBaseline:
         a = Finding(rule="RL104", path="m.py", line=5, message="x", snippet="s")
         b = Finding(rule="RL104", path="m.py", line=50, message="y", snippet="s")
         assert a.fingerprint == b.fingerprint
+
+
+class TestSuppressionBaselineInteraction:
+    """Inline suppressions and the baseline compose, in that order.
+
+    ``split_suppressed`` runs before the baseline split, so a finding
+    that is both baselined *and* line-suppressed lands in
+    ``report.suppressed`` — and because ``report.findings`` excludes
+    suppressed findings, regenerating the baseline from a suppressed
+    tree writes an *empty* baseline without resurrecting the finding.
+    """
+
+    SUPPRESSED = BAD_RNG.replace(
+        "default_rng(0)", "default_rng(0)  # reprolint: disable=RL101"
+    )
+
+    def test_suppression_wins_over_baseline(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        first = lint_sources({"phy/m.py": BAD_RNG})
+        Baseline.from_findings(first.findings).save(path)
+
+        report = lint_sources(
+            {"phy/m.py": self.SUPPRESSED}, baseline=Baseline.load(path)
+        )
+        assert report.ok
+        assert report.baselined == []
+        assert [f.rule for f in report.suppressed] == ["RL101"]
+
+    def test_regenerated_baseline_does_not_resurrect(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        first = lint_sources({"phy/m.py": BAD_RNG})
+        Baseline.from_findings(first.findings).save(path)
+
+        # The line gets an inline suppression; someone then regenerates
+        # the baseline (``--update-baseline``) from the now-clean tree.
+        mid = lint_sources(
+            {"phy/m.py": self.SUPPRESSED}, baseline=Baseline.load(path)
+        )
+        Baseline.from_findings(mid.findings).save(path)
+        assert json.loads(path.read_text())["entries"] == []  # nothing left
+
+        # The suppressed finding must stay suppressed, not come back as
+        # a new (build-failing) finding.
+        rerun = lint_sources(
+            {"phy/m.py": self.SUPPRESSED}, baseline=Baseline.load(path)
+        )
+        assert rerun.ok, [f.message for f in rerun.new_findings]
+        assert rerun.new_findings == []
+        assert [f.rule for f in rerun.suppressed] == ["RL101"]
+
+    def test_removing_suppression_after_regen_fails_the_build(
+        self, tmp_path
+    ):
+        # Flip side: once the baseline was regenerated without the
+        # entry, deleting the inline directive re-exposes the finding
+        # as *new* — the suppression was the only thing holding it.
+        path = tmp_path / "baseline.json"
+        mid = lint_sources({"phy/m.py": self.SUPPRESSED})
+        Baseline.from_findings(mid.findings).save(path)
+
+        rerun = lint_sources(
+            {"phy/m.py": BAD_RNG}, baseline=Baseline.load(path)
+        )
+        assert not rerun.ok
+        assert [f.rule for f in rerun.new_findings] == ["RL101"]
