@@ -39,6 +39,7 @@ ENTRY_MODULES = {
     "SOLVER_CODE_MODULES": "repro.engine.batch",
     "CAMPAIGN_CODE_MODULES": "repro.measurements.batch",
     "CHAOS_CODE_MODULES": "repro.faults.chaos",
+    "RELAY_CODE_MODULES": "repro.relay.batch",
 }
 
 #: Layers whose *outgoing* imports are not followed when computing a

@@ -77,6 +77,7 @@ __all__ = [
     "scenario",
     "solve",
     "solve_batch",
+    "solve_relay",
     "sweep",
     "utility_curve",
 ]
@@ -429,6 +430,84 @@ def chaos(
             {"result": result.to_dict(), "manifest": manifest.to_dict()},
         )
     return RunResult("chaos", result, manifest)
+
+
+def _relay_store_key(chain, engine: BatchSolverEngine) -> Optional[str]:
+    """The store key for one relay solve, or ``None`` if uncacheable.
+
+    Uncacheable means some hop's throughput law cannot describe itself
+    (:meth:`~repro.relay.chain.RelayChain.cache_key` returns ``None``).
+    The engine's grid settings join the config because they shape the
+    solved distances exactly as they do for single-link entries.
+    """
+    from .store import RELAY_CODE_MODULES, config_key
+
+    chain_key = chain.cache_key()
+    if chain_key is None:
+        return None
+    return config_key(
+        "relay.solve",
+        {
+            "chain": chain_key,
+            "grid_step_m": engine.grid_step_m,
+            "refine_tolerance_m": engine.refine_tolerance_m,
+        },
+        RELAY_CODE_MODULES,
+    )
+
+
+def solve_relay(
+    chain,
+    engine: Optional[BatchSolverEngine] = None,
+    obs: Optional[ObsContext] = None,
+    legacy: bool = False,
+    cache=None,
+    refresh: bool = False,
+) -> RunResult:
+    """Solve a relay chain's per-hop now-vs-ship decisions.
+
+    Thin façade over :class:`repro.relay.solver.RelaySolver` (imported
+    lazily).  Returns a :class:`RunResult` delegating to the
+    :class:`~repro.relay.solver.RelayDecision`; its manifest serialises
+    through the same builder as ``repro relay --json``, so CLI and
+    library bytes agree.  ``obs`` defaults to a fresh *deterministic*
+    context — like chaos runs, relay solves carry a replay
+    byte-identity guarantee, which is also what lets the full manifest
+    be cached alongside the result: a warm run returns bytes identical
+    to the cold run that populated the store.  ``legacy=True`` returns
+    the bare decision (deprecated).
+    """
+    from .relay.solver import RelayDecision, RelaySolver, relay_manifest
+
+    eng = engine or default_engine()
+    store = key = None
+    cacheable = obs is None and not legacy
+    if cacheable:
+        store = _resolve_store(cache)
+        obs = ObsContext.enabled(deterministic=True)
+    if store is not None:
+        key = _relay_store_key(chain, eng)
+    if key is not None and not refresh:
+        body = store.get(key)
+        if body is not None:
+            try:
+                result = RelayDecision.from_dict(body["result"])
+                manifest = RunManifest.from_dict(body["manifest"])
+            except (KeyError, TypeError, ValueError):
+                pass  # malformed entry: fall through to a live run
+            else:
+                return RunResult("relay", result, manifest)
+    result = RelaySolver(eng).solve(chain, obs=obs)
+    if legacy:
+        _legacy_warning("solve_relay")
+        return result
+    manifest = relay_manifest(result, chain, obs=obs)
+    if key is not None:
+        store.put(
+            key,
+            {"result": result.to_dict(), "manifest": manifest.to_dict()},
+        )
+    return RunResult("relay", result, manifest)
 
 
 def utility_curve(

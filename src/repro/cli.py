@@ -51,6 +51,7 @@ __all__ = ["main", "build_parser"]
 
 EXPERIMENTS = (
     "fig1", "fig2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig_relay",
 )
 
 
@@ -270,6 +271,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the deterministic chaos report as one JSON object",
     )
     _add_cache_flags(chaos)
+
+    relay = sub.add_parser(
+        "relay",
+        help="solve per-hop now-vs-ship decisions for a relay chain",
+    )
+    relay.add_argument(
+        "--hops", default="quadrocopter,airplane", metavar="A,B,...",
+        help="comma-separated hop scenarios, source first "
+             "(default: quadrocopter,airplane)",
+    )
+    relay.add_argument(
+        "--handoff", type=float, default=5.0, metavar="S",
+        help="hand-off overhead per relay boundary in seconds (default: 5)",
+    )
+    relay.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="end-to-end delivery deadline in seconds (default: none)",
+    )
+    relay.add_argument(
+        "--mdata-mb", type=float, default=None, metavar="MB",
+        help="payload carried through the chain (default: first hop's)",
+    )
+    relay.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the relay run manifest as one JSON object",
+    )
+    _add_cache_flags(relay)
 
     cache = sub.add_parser(
         "cache", help="persistent result-store maintenance"
@@ -832,6 +861,52 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.completed else 1
 
 
+def _cmd_relay(args: argparse.Namespace) -> int:
+    from .api import solve_relay
+    from .relay import RelayChain
+
+    names = [name.strip() for name in args.hops.split(",") if name.strip()]
+    if not names:
+        print("relay: --hops needs at least one scenario", file=sys.stderr)
+        return 2
+    try:
+        scenarios = [make_scenario(name) for name in names]
+    except ValueError as exc:
+        print(f"relay: {exc}", file=sys.stderr)
+        return 2
+    chain = RelayChain.of(
+        scenarios,
+        handoff_s=args.handoff,
+        name="-".join(names),
+        deadline_s=args.deadline,
+        mdata_mb=args.mdata_mb,
+    )
+    result = solve_relay(chain, **_cache_kwargs(args))
+    decision = result.outputs
+    if args.json:
+        # Unlike chaos, no created_unix_s stamp: the manifest is fully
+        # deterministic, so a warm-cache run emits bytes identical to
+        # the cold run that populated the store.
+        print(result.manifest.to_json())
+        return 0 if decision.meets_deadline else 1
+    print(f"chain             : {chain.name} ({chain.n_hops} hop(s))")
+    print(f"Mdata             : {chain.data_bits / 8e6:.1f} MB")
+    print(f"hand-off overhead : {chain.total_handoff_s:g} s")
+    print("-" * 40)
+    for hop, name in zip(decision.hops, names):
+        print(f"hop {hop.hop}             : {name:13s} "
+              f"{hop.policy:8s} d={hop.distance_m:7.1f} m "
+              f"cdelay={hop.cdelay_s:7.1f} s")
+    print("-" * 40)
+    print(f"chain utility     : {decision.utility:.4f}")
+    print(f"survival          : {decision.survival:.4f}")
+    print(f"total delay       : {decision.delay_s:.1f} s"
+          + (f" (deadline {decision.deadline_s:g} s, "
+             f"{'met' if decision.meets_deadline else 'MISSED'})"
+             if decision.deadline_s is not None else ""))
+    return 0 if decision.meets_deadline else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -922,6 +997,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
+        "relay": _cmd_relay,
         "cache": _cmd_cache,
         "obs": _cmd_obs,
         "lint": _cmd_lint,

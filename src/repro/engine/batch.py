@@ -349,6 +349,45 @@ class BatchSolverEngine:
             ).observe(len(scenario_list))
         return BatchResult.from_decisions(results)  # type: ignore[arg-type]
 
+    def breakdown_at(
+        self,
+        scenarios: Sequence["Scenario"],
+        distances_m: Sequence[float],
+    ) -> Tuple[np.ndarray, ...]:
+        """Eq. 1 breakdown at fixed distances, no optimisation.
+
+        Row ``i`` evaluates ``scenarios[i]`` at ``distances_m[i]``;
+        returns ``(utility, cdelay, shipping, transmission, discount)``
+        arrays.  Every operation is elementwise, so the same
+        (scenario, distance) pair produces bit-identical numbers
+        whether evaluated alone or inside a fleet — the guarantee the
+        relay solvers' candidate evaluation builds on.
+        """
+        scenario_list = list(scenarios)
+        d = np.asarray(distances_m, dtype=float)
+        if d.ndim != 1 or d.shape[0] != len(scenario_list):
+            raise ValueError(
+                "distances_m must be 1-D and row-aligned with scenarios"
+            )
+        return _Params(scenario_list).breakdown(d)
+
+    def grid_points(self, scenario: "Scenario") -> int:
+        """Grid columns a solo solve of this scenario scans.
+
+        The scan grid is span-normalised per row, so any batch whose
+        rows all share this count reproduces each row's solo grid
+        exactly — grouping scenarios by ``grid_points`` is what keeps
+        :class:`~repro.relay.batch.BatchRelaySolver` in bit-lockstep
+        with per-hop :meth:`solve` calls.
+        """
+        span = scenario.contact_distance_m - scenario.min_distance_m
+        return int(
+            min(
+                _MAX_GRID_POINTS,
+                max(3, math.ceil(span / self.grid_step_m) + 1),
+            )
+        )
+
     def sweep(
         self,
         scenario: "Scenario",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from . import fig1, fig2, fig4, fig5, fig6, fig7, fig8, fig9, table1
+from . import fig1, fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig_relay, table1
 from .base import ExperimentReport, format_table
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "fig_relay",
     "table1",
     "run_all",
 ]

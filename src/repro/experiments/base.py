@@ -27,16 +27,22 @@ def iter_decisions(
 ) -> Iterator[Tuple[Tuple[str, ...], OptimalDecision]]:
     """Walk an experiment's ``data`` tree, yielding every decision.
 
-    The tree mixes dicts, sequences, :class:`OptimalDecision` leaves
-    and :class:`BatchResult` columns; each yielded path is the chain of
+    The tree mixes dicts, sequences, :class:`OptimalDecision` leaves,
+    :class:`BatchResult` columns and relay-chain decisions (flattened
+    to their per-hop choices, which share the ``distance_m`` /
+    ``to_dict`` surface); each yielded path is the chain of
     keys/indices leading to the decision.  Shared by the CLI's
     ``experiment --json`` emitter and the manifest builder below.
     """
     from ..api import RunResult  # deferred: api imports the engine layer
+    from ..relay.solver import RelayDecision  # deferred: same reason
 
     if isinstance(node, RunResult):
         node = node.outputs
-    if isinstance(node, OptimalDecision):
+    if isinstance(node, RelayDecision):
+        for choice in node.hops:
+            yield (*path, str(choice.hop)), choice
+    elif isinstance(node, OptimalDecision):
         yield path, node
     elif isinstance(node, BatchResult):
         for index, decision in enumerate(node):

@@ -1,0 +1,107 @@
+"""Relay extension — chain utility versus chain length and deadline.
+
+Not a figure from the paper: the now-or-later decision of Eq. 1/2
+generalised to store-and-forward relay chains (``repro.relay``).  One
+source UAV hands the payload to up to three ferrying relays; every
+relay boundary costs a fixed hand-off overhead.  The sweep regenerates
+the two observations the chain model adds on top of the paper:
+
+* chain utility decreases monotonically with chain length — every
+  added hop multiplies in another survival discount and adds its
+  communication delay plus the hand-off overhead;
+* a delivery deadline bends per-hop policies away from the solo
+  optimum: when the unconstrained chain would finish too late, hops
+  switch from ``optimal`` to earlier-transmitting policies (or the
+  deadline becomes infeasible outright).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..api import quadrocopter_scenario
+from ..relay import BatchRelaySolver, RelayChain
+from .base import ExperimentReport, format_table
+
+__all__ = ["run", "CHAIN_LENGTHS", "DEADLINES_S", "HANDOFF_S", "MDATA_MB"]
+
+#: Hop counts of the sweep (1 = the paper's single-link baseline).
+CHAIN_LENGTHS: List[int] = [1, 2, 3, 4]
+
+#: Delivery deadlines in seconds (None = unconstrained).
+DEADLINES_S: List[Optional[float]] = [None, 100.0, 60.0, 30.0]
+
+#: Hand-off overhead per relay boundary (seconds).
+HANDOFF_S = 5.0
+
+#: Payload carried through every chain (megabytes).
+MDATA_MB = 20.0
+
+
+def _chains() -> List[RelayChain]:
+    """The sweep's chains: every (length, deadline) combination."""
+    base = quadrocopter_scenario()
+    chains = []
+    for length in CHAIN_LENGTHS:
+        for deadline_s in DEADLINES_S:
+            chains.append(
+                RelayChain.of(
+                    [base] * length,
+                    handoff_s=HANDOFF_S,
+                    name=f"relay{length}",
+                    deadline_s=deadline_s,
+                    mdata_mb=MDATA_MB,
+                )
+            )
+    return chains
+
+
+def run() -> ExperimentReport:
+    """Regenerate the relay-chain sweep."""
+    report = ExperimentReport(
+        "fig_relay", "chain utility vs chain length and deadline"
+    )
+    chains = _chains()
+    decisions = BatchRelaySolver().solve(chains)
+    data = {}
+    for chain, decision in zip(chains, decisions):
+        key = "inf" if chain.deadline_s is None else f"{chain.deadline_s:g}"
+        data.setdefault(str(chain.n_hops), {})[key] = decision
+    report.add(
+        f"{len(CHAIN_LENGTHS)}x{len(DEADLINES_S)} chains of quadrocopter "
+        f"hops, Mdata={MDATA_MB:g} MB, hand-off={HANDOFF_S:g} s"
+    )
+    rows = []
+    for chain, decision in zip(chains, decisions):
+        deadline = (
+            "none" if chain.deadline_s is None else f"{chain.deadline_s:g}"
+        )
+        rows.append(
+            [
+                f"{chain.n_hops}",
+                deadline,
+                f"{decision.utility:.4f}",
+                f"{decision.survival:.3f}",
+                f"{decision.delay_s:.1f}",
+                "yes" if decision.meets_deadline else "NO",
+                "/".join(p[0] for p in decision.policies),
+            ]
+        )
+    report.extend(
+        format_table(
+            ["hops", "deadline", "U", "delta", "delay(s)", "met", "policy"],
+            rows,
+            width=9,
+        )
+    )
+    report.add()
+    unconstrained = [data[str(n)]["inf"].utility for n in CHAIN_LENGTHS]
+    monotone = all(
+        b <= a + 1e-12 for a, b in zip(unconstrained, unconstrained[1:])
+    )
+    report.add(
+        "chain utility decreases with length: "
+        f"{'yes' if monotone else 'NO'} (model: yes)"
+    )
+    report.data = data
+    return report

@@ -1,0 +1,55 @@
+"""Multi-hop relay-chain workload: model, solvers, transfers, campaigns.
+
+The paper's now-or-later decision generalised to chains of ferrying
+UAVs (see ``docs/API.md``, "Relay chains"):
+
+* :class:`RelayChain` / :class:`RelayHop` — the static chain model;
+* :class:`RelaySolver` — per-hop now-vs-ship decisions via an exact
+  Pareto-frontier dynamic program over Eq. 1/2;
+* :class:`BatchRelaySolver` — the RL105-registered batch twin,
+  bit-identical to the scalar path at R=1;
+* :func:`run_relay_transfer` — fault-plan-compatible store-and-forward
+  execution with checkpoint/resume at interrupted hops;
+* :func:`run_relay_campaign` — replicated outage campaigns with
+  worker-count-invariant results.
+"""
+
+from .batch import BatchRelayResult, BatchRelaySolver
+from .chain import RelayChain, RelayHop
+from .campaign import (
+    RelayCampaignConfig,
+    RelayCampaignResult,
+    relay_campaign_manifest,
+    run_relay_campaign,
+)
+from .solver import (
+    HOP_POLICIES,
+    HopChoice,
+    RelayDecision,
+    RelaySolver,
+    relay_manifest,
+)
+from .transfer import (
+    RelayHopReport,
+    RelayTransferResult,
+    run_relay_transfer,
+)
+
+__all__ = [
+    "HOP_POLICIES",
+    "BatchRelayResult",
+    "BatchRelaySolver",
+    "HopChoice",
+    "RelayCampaignConfig",
+    "RelayCampaignResult",
+    "RelayChain",
+    "RelayDecision",
+    "RelayHop",
+    "RelayHopReport",
+    "RelaySolver",
+    "RelayTransferResult",
+    "relay_campaign_manifest",
+    "relay_manifest",
+    "run_relay_campaign",
+    "run_relay_transfer",
+]

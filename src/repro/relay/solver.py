@@ -1,0 +1,408 @@
+"""Per-hop now-vs-ship decisions for relay chains (DP over Eq. 1/2).
+
+Each hop of a :class:`~repro.relay.chain.RelayChain` chooses between
+three candidate policies:
+
+* ``optimal`` — the hop's own Eq. 2 solution (ship to ``dopt``, then
+  transmit), taken verbatim from the shared
+  :class:`~repro.engine.batch.BatchSolverEngine`;
+* ``now`` — transmit from the contact distance ``d0`` (no flying, no
+  survival discount);
+* ``closest`` — ship all the way to the hop's distance floor.
+
+A hop-greedy pick of ``optimal`` everywhere maximises each factor of
+the chain utility separately but not their combination: the utility is
+a *ratio* ``prod(discount) / sum(delay)``, so a cheap hop may trade
+its own optimum for chain-level survival or for a delivery deadline.
+The solver therefore runs a dynamic program over the exact Pareto
+frontier of ``(survival product, delay sum)`` states — survival and
+delay are each additive/multiplicative per hop, so any chain-level
+objective that is monotone in both (the utility ratio, a deadline cut)
+is maximised by some frontier state.
+
+Bit-identity contracts (pinned by the property suite):
+
+* a 1-hop chain with zero hand-off returns the engine's
+  :class:`~repro.core.optimizer.OptimalDecision` fields verbatim —
+  boundary candidates that coincide with the engine optimum are
+  dropped rather than re-derived, and a non-snapped engine optimum
+  strictly dominates both boundaries by the engine's own snap margin;
+* the candidate evaluation is shared with
+  :class:`~repro.relay.batch.BatchRelaySolver`, so scalar and batch
+  paths stay in R=1 lockstep by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.optimizer import OptimalDecision
+from ..engine.batch import BatchSolverEngine, default_engine
+from ..obs import ObsContext, RunManifest
+from .chain import RelayChain
+
+__all__ = [
+    "HOP_POLICIES",
+    "HopChoice",
+    "RelayDecision",
+    "RelaySolver",
+    "relay_manifest",
+]
+
+#: The candidate policies each hop chooses between, in tie-break order
+#: (the engine optimum wins exact utility ties).
+HOP_POLICIES = ("optimal", "now", "closest")
+
+#: Cap on Pareto states kept per DP layer.  With three candidates per
+#: hop the exact frontier stays tiny after dominance pruning; the cap
+#: only bounds pathological hand-crafted chains, deterministically
+#: (lowest-delay states are kept).
+_MAX_FRONTIER = 256
+
+
+@dataclass(frozen=True)
+class HopChoice:
+    """The policy one hop ends up with, plus its Eq. 1 breakdown."""
+
+    hop: int
+    policy: str
+    distance_m: float
+    utility: float
+    cdelay_s: float
+    shipping_s: float
+    transmission_s: float
+    discount: float
+    handoff_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping; floats round-trip exactly."""
+        return {
+            "hop": self.hop,
+            "policy": self.policy,
+            "distance_m": self.distance_m,
+            "utility": self.utility,
+            "cdelay_s": self.cdelay_s,
+            "shipping_s": self.shipping_s,
+            "transmission_s": self.transmission_s,
+            "discount": self.discount,
+            "handoff_s": self.handoff_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "HopChoice":
+        """Inverse of :meth:`to_dict` (store rehydration)."""
+        return cls(
+            hop=int(payload["hop"]),
+            policy=str(payload["policy"]),
+            distance_m=float(payload["distance_m"]),
+            utility=float(payload["utility"]),
+            cdelay_s=float(payload["cdelay_s"]),
+            shipping_s=float(payload["shipping_s"]),
+            transmission_s=float(payload["transmission_s"]),
+            discount=float(payload["discount"]),
+            handoff_s=float(payload["handoff_s"]),
+        )
+
+
+@dataclass(frozen=True)
+class RelayDecision:
+    """The solved chain: per-hop choices plus chain-level aggregates."""
+
+    chain: str
+    hops: Tuple[HopChoice, ...]
+    #: Chain utility: ``survival / delay_s`` (generalised Eq. 1).
+    utility: float
+    #: Product of the per-hop survival discounts.
+    survival: float
+    #: End-to-end delay: per-hop Cdelay plus hand-off overheads.
+    delay_s: float
+    #: Total hand-off overhead included in ``delay_s``.
+    handoff_s: float
+    deadline_s: Optional[float]
+    #: True when ``delay_s`` meets the deadline (always True without
+    #: one); False means no candidate combination was feasible and the
+    #: minimum-delay chain is reported instead.
+    meets_deadline: bool
+
+    @property
+    def n_hops(self) -> int:
+        """Number of hops in the solved chain."""
+        return len(self.hops)
+
+    @property
+    def policies(self) -> Tuple[str, ...]:
+        """Per-hop policy names, in chain order."""
+        return tuple(choice.policy for choice in self.hops)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON document; identical across replays of the same chain."""
+        return {
+            "chain": self.chain,
+            "utility": self.utility,
+            "survival": self.survival,
+            "delay_s": self.delay_s,
+            "handoff_s": self.handoff_s,
+            "deadline_s": self.deadline_s,
+            "meets_deadline": self.meets_deadline,
+            "hops": [choice.to_dict() for choice in self.hops],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RelayDecision":
+        """Inverse of :meth:`to_dict` — ``from_dict(d.to_dict()) == d``."""
+        deadline = payload["deadline_s"]
+        return cls(
+            chain=str(payload["chain"]),
+            hops=tuple(
+                HopChoice.from_dict(choice) for choice in payload["hops"]
+            ),
+            utility=float(payload["utility"]),
+            survival=float(payload["survival"]),
+            delay_s=float(payload["delay_s"]),
+            handoff_s=float(payload["handoff_s"]),
+            deadline_s=None if deadline is None else float(deadline),
+            meets_deadline=bool(payload["meets_deadline"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Candidate evaluation (shared by the scalar and batch solvers)
+# ----------------------------------------------------------------------
+
+def _hop_candidates(
+    engine: BatchSolverEngine,
+    scenarios: Sequence,
+    decisions: Sequence[OptimalDecision],
+) -> List[List[Tuple[str, float, float, float, float, float, float]]]:
+    """Per-hop candidate tuples: (policy, d, U, cdelay, ship, tx, disc).
+
+    The ``optimal`` candidate copies the engine decision's fields
+    verbatim; the boundary candidates are evaluated through the same
+    elementwise :meth:`~repro.engine.batch.BatchSolverEngine.breakdown_at`
+    arrays whether one hop or a whole fleet is being solved — this
+    function is the single candidate source for both solvers, which is
+    what makes scalar↔batch lockstep structural rather than tested-in.
+
+    A boundary whose distance equals the engine optimum (a snapped
+    decision) is dropped: re-deriving it through a different float path
+    could differ in the last ulp and steal the tie.
+    """
+    d0 = np.array([s.contact_distance_m for s in scenarios], dtype=float)
+    dmin = np.array([s.min_distance_m for s in scenarios], dtype=float)
+    at_now = engine.breakdown_at(scenarios, d0)
+    at_closest = engine.breakdown_at(scenarios, dmin)
+    rows: List[List[Tuple[str, float, float, float, float, float, float]]] = []
+    for i, decision in enumerate(decisions):
+        row = [
+            (
+                "optimal",
+                decision.distance_m,
+                decision.utility,
+                decision.cdelay_s,
+                decision.shipping_s,
+                decision.transmission_s,
+                decision.discount,
+            )
+        ]
+        if float(d0[i]) != decision.distance_m:
+            row.append(
+                ("now", float(d0[i]))
+                + tuple(float(column[i]) for column in at_now)
+            )
+        if float(dmin[i]) != decision.distance_m:
+            row.append(
+                ("closest", float(dmin[i]))
+                + tuple(float(column[i]) for column in at_closest)
+            )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# The dynamic program
+# ----------------------------------------------------------------------
+
+def _prune(
+    states: List[Tuple[float, float, Tuple[int, ...]]],
+) -> List[Tuple[float, float, Tuple[int, ...]]]:
+    """Keep the Pareto frontier of (survival desc, delay asc) states.
+
+    Sorting by (delay, -survival, path) makes the sweep deterministic:
+    among states equal on both axes the lexicographically smallest
+    candidate path survives, which orders ``optimal`` first.
+    """
+    states.sort(key=lambda s: (s[1], -s[0], s[2]))
+    kept: List[Tuple[float, float, Tuple[int, ...]]] = []
+    best_survival = -1.0
+    for survival, delay, path in states:
+        if survival > best_survival:
+            kept.append((survival, delay, path))
+            best_survival = survival
+            if len(kept) >= _MAX_FRONTIER:
+                break
+    return kept
+
+
+def _dp_select(
+    rows: Sequence[Sequence[tuple]],
+    handoffs: Sequence[float],
+    deadline_s: Optional[float],
+) -> Tuple[Tuple[int, ...], float, float, bool]:
+    """Pick one candidate per hop maximising the chain utility.
+
+    Returns ``(candidate indices, survival, delay_s, feasible)``.
+    States fold multiplicatively in survival and additively in delay
+    (candidate index 3 is cdelay, index 6 the discount), the frontier
+    is pruned exactly per layer, and the final pick maximises
+    ``survival / delay`` among deadline-feasible states — falling back
+    to the minimum-delay chain when nothing is feasible.
+    """
+    frontier: List[Tuple[float, float, Tuple[int, ...]]] = [(1.0, 0.0, ())]
+    for row, handoff in zip(rows, handoffs):
+        grown = [
+            (
+                survival * candidate[6],
+                delay + candidate[3] + handoff,
+                path + (index,),
+            )
+            for survival, delay, path in frontier
+            for index, candidate in enumerate(row)
+        ]
+        frontier = _prune(grown)
+    if deadline_s is not None:
+        feasible = [state for state in frontier if state[1] <= deadline_s]
+    else:
+        feasible = frontier
+    if feasible:
+        survival, delay, path = min(
+            feasible, key=lambda s: (-(s[0] / s[1]), s[1], s[2])
+        )
+        return path, survival, delay, True
+    survival, delay, path = min(
+        frontier, key=lambda s: (s[1], -s[0], s[2])
+    )
+    return path, survival, delay, False
+
+
+def _assemble(chain: RelayChain, rows: Sequence[Sequence[tuple]]) -> RelayDecision:
+    """Run the DP and package the winning path as a decision."""
+    handoffs = [hop.handoff_s for hop in chain.hops]
+    path, survival, delay, feasible = _dp_select(
+        rows, handoffs, chain.deadline_s
+    )
+    choices = tuple(
+        HopChoice(
+            hop=i,
+            policy=rows[i][index][0],
+            distance_m=rows[i][index][1],
+            utility=rows[i][index][2],
+            cdelay_s=rows[i][index][3],
+            shipping_s=rows[i][index][4],
+            transmission_s=rows[i][index][5],
+            discount=rows[i][index][6],
+            handoff_s=handoffs[i],
+        )
+        for i, index in enumerate(path)
+    )
+    return RelayDecision(
+        chain=chain.name,
+        hops=choices,
+        utility=survival / delay,
+        survival=survival,
+        delay_s=delay,
+        handoff_s=sum(handoffs),
+        deadline_s=chain.deadline_s,
+        meets_deadline=feasible,
+    )
+
+
+# ----------------------------------------------------------------------
+# The scalar solver
+# ----------------------------------------------------------------------
+
+class RelaySolver:
+    """Solves one relay chain at a time (the scalar reference path)."""
+
+    def __init__(self, engine: Optional[BatchSolverEngine] = None) -> None:
+        self.engine = engine or default_engine()
+
+    def solve(
+        self,
+        chain: RelayChain,
+        obs: Optional[ObsContext] = None,
+    ) -> RelayDecision:
+        """Solve the chain's per-hop now-vs-ship decisions.
+
+        ``obs`` records a ``relay.solve`` span, ``relay.*`` counters
+        and a ``decision.relay`` event; ``None`` (the default) leaves
+        the solve path untouched.
+        """
+        if obs is None:
+            return self._solve(chain)
+        span = None
+        if obs.tracer is not None:
+            span = obs.tracer.span("relay.solve", hops=chain.n_hops)
+            span.__enter__()
+        try:
+            decision = self._solve(chain)
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        _record_relay_obs(obs, [decision])
+        return decision
+
+    def _solve(self, chain: RelayChain) -> RelayDecision:
+        scenarios = chain.scenarios()
+        decisions = [self.engine.solve(scn) for scn in scenarios]
+        rows = _hop_candidates(self.engine, scenarios, decisions)
+        return _assemble(chain, rows)
+
+
+def _record_relay_obs(obs: ObsContext, decisions: Sequence[RelayDecision]) -> None:
+    """``relay.*`` counters and one event per solved chain.
+
+    Shared by the scalar and batch solvers so both emit the same metric
+    names (the campaign-style parity contract).
+    """
+    if obs.metrics is not None:
+        obs.metrics.counter("relay.chains").inc(len(decisions))
+        obs.metrics.counter("relay.hops").inc(
+            sum(decision.n_hops for decision in decisions)
+        )
+    if obs.events is not None:
+        for decision in decisions:
+            obs.events.emit(
+                "decision.relay",
+                0.0,
+                chain=decision.chain,
+                utility=decision.utility,
+                delay_s=decision.delay_s,
+                meets_deadline=decision.meets_deadline,
+            )
+
+
+def relay_manifest(
+    decision: RelayDecision,
+    chain: RelayChain,
+    obs: Optional[ObsContext] = None,
+    git_rev: Optional[str] = "auto",
+) -> RunManifest:
+    """The one manifest builder for relay solves.
+
+    ``repro relay --json`` and :func:`repro.api.solve_relay` both
+    serialise through this function, so CLI stdout and the library's
+    :class:`~repro.obs.RunManifest` are byte-identical for the same
+    chain — and, with the default deterministic obs context, a
+    warm-cache run prints the same bytes as the cold run that
+    populated the store.
+    """
+    return RunManifest.build(
+        kind="relay",
+        config=chain.to_dict(),
+        outputs=decision.to_dict(),
+        obs=obs,
+        git_rev=git_rev,
+    )

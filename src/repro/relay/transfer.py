@@ -1,0 +1,288 @@
+"""Store-and-forward relay transfers under deterministic fault plans.
+
+:func:`run_relay_transfer` drives one solved
+:class:`~repro.relay.chain.RelayChain` through the epoch-based link
+engine, hop by hop: each carrier ships towards its solved distance
+while transmitting, the next hop's batch carries exactly the bytes the
+previous hop delivered (store-and-forward), and the hop's hand-off
+overhead advances the global clock between legs.
+
+Fault compatibility is the point: the fault plan's ``link_outage``
+windows live on the *global* mission clock, so an outage landing at an
+interior hop blacks out whichever link is active then.  Each hop runs
+inside a :class:`~repro.mission.ferry.ResumableFerryTransfer`, so the
+interrupted leg checkpoints and resumes on the same
+:class:`~repro.net.packets.ImageBatch` — delivered bytes are conserved
+exactly across blackout, checkpoint, resume and hand-off (the chaos
+suite pins the full ledger).
+
+Everything is deterministic: the same ``(chain, plan, seed)`` triple
+yields a byte-identical :class:`RelayTransferResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..channel.channel import (
+    AerialChannel,
+    airplane_profile,
+    quadrocopter_profile,
+)
+from ..faults.outage import OutageSchedule
+from ..faults.plan import FaultPlan
+from ..mission.ferry import ResumableFerryTransfer, TransferCheckpoint
+from ..net.link import WirelessLink
+from ..net.packets import ImageBatch
+from ..net.retry import RetryPolicy
+from ..obs import ObsContext
+from ..phy.rate_control import scalar_controller
+from ..sim.random import RandomStreams
+from .chain import RelayChain
+from .solver import RelayDecision, RelaySolver
+
+__all__ = ["RelayHopReport", "RelayTransferResult", "run_relay_transfer"]
+
+_PROFILES = {
+    "airplane": airplane_profile,
+    "quadrocopter": quadrocopter_profile,
+}
+
+
+@dataclass(frozen=True)
+class RelayHopReport:
+    """Ledger entry for one executed hop."""
+
+    hop: int
+    policy: str
+    dopt_m: float
+    start_s: float
+    finish_s: float
+    #: Bytes this hop carried (the previous hop's deliveries).
+    carried_bytes: int
+    #: Bytes this hop handed to the next carrier (or the ground).
+    delivered_bytes: int
+    completed: bool
+    resumes: int
+    blackout_retries: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (campaign manifests, CLI)."""
+        return {
+            "hop": self.hop,
+            "policy": self.policy,
+            "dopt_m": self.dopt_m,
+            "start_s": self.start_s,
+            "finish_s": self.finish_s,
+            "carried_bytes": self.carried_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "completed": self.completed,
+            "resumes": self.resumes,
+            "blackout_retries": self.blackout_retries,
+        }
+
+
+@dataclass(frozen=True)
+class RelayTransferResult:
+    """Deterministic outcome of one relay transfer (JSON-ready)."""
+
+    chain: str
+    plan_name: str
+    seed: int
+    completed: bool
+    finish_s: float
+    #: Bytes that reached the final receiver.
+    delivered_bytes: int
+    total_bytes: int
+    resumes: int
+    hops: Tuple[RelayHopReport, ...]
+    checkpoints: Tuple[TransferCheckpoint, ...] = field(default_factory=tuple)
+    deadline_s: Optional[float] = None
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of ``Mdata`` that made it end to end."""
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.delivered_bytes / self.total_bytes
+
+    def byte_ledger_consistent(self) -> bool:
+        """Exact conservation: each hop forwards what it received.
+
+        Every hop's carried bytes must equal the previous hop's
+        delivered bytes, no hop may deliver more than it carried, and
+        the first hop carries the full batch.
+        """
+        if not self.hops:
+            return self.delivered_bytes == 0
+        if self.hops[0].carried_bytes != self.total_bytes:
+            return False
+        for previous, current in zip(self.hops, self.hops[1:]):
+            if current.carried_bytes != previous.delivered_bytes:
+                return False
+        return all(
+            hop.delivered_bytes <= hop.carried_bytes for hop in self.hops
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON document; identical across replays of the same inputs."""
+        return {
+            "chain": self.chain,
+            "plan": self.plan_name,
+            "seed": self.seed,
+            "completed": self.completed,
+            "finish_s": self.finish_s,
+            "deadline_s": self.deadline_s,
+            "delivered_bytes": self.delivered_bytes,
+            "total_bytes": self.total_bytes,
+            "delivered_fraction": self.delivered_fraction,
+            "resumes": self.resumes,
+            "hops": [hop.to_dict() for hop in self.hops],
+            "checkpoints": [c.to_dict() for c in self.checkpoints],
+        }
+
+
+def run_relay_transfer(
+    chain: RelayChain,
+    plan: FaultPlan,
+    seed: int = 1,
+    decision: Optional[RelayDecision] = None,
+    epoch_s: float = 0.02,
+    controller: str = "arf",
+    retry: RetryPolicy = RetryPolicy(),
+    idle_timeout_s: float = 2.0,
+    max_resumes: int = 8,
+    obs: Optional[ObsContext] = None,
+) -> RelayTransferResult:
+    """Execute one relay chain under a fault plan; fully deterministic.
+
+    Each hop follows its solved policy (``decision`` defaults to a
+    fresh :class:`~repro.relay.solver.RelaySolver` solve of the chain):
+    from contact at its ``d0`` the carrier ships towards the chosen
+    distance while the transfer engine runs, until its batch completes,
+    the chain deadline passes, or the per-hop resume budget is
+    exhausted.  Hop ``h+1`` starts after hop ``h``'s finish plus its
+    hand-off overhead, carrying exactly the bytes hop ``h`` delivered.
+
+    ``obs`` (a *deterministic* context — replays are byte-identical by
+    contract) records per-hop ``relay.transfer`` events and counters.
+    """
+    for hop in chain.hops:
+        if hop.scenario.name not in _PROFILES:
+            raise ValueError(
+                f"no channel profile for scenario {hop.scenario.name!r}; "
+                f"choose hops from {sorted(_PROFILES)}"
+            )
+    if decision is None:
+        decision = RelaySolver().solve(chain)
+    deadline_s = chain.deadline_s
+    events = obs.events if obs is not None else None
+
+    total_bytes = int(round(chain.data_bits / 8))
+    carried = total_bytes
+    now = 0.0
+    reports: List[RelayHopReport] = []
+    checkpoints: List[TransferCheckpoint] = []
+    total_resumes = 0
+    chain_completed = False
+
+    for index, (hop, choice) in enumerate(zip(chain.hops, decision.hops)):
+        if carried <= 0:
+            break
+        now += hop.handoff_s
+        if deadline_s is not None and now >= deadline_s:
+            break
+        if events is not None and hop.handoff_s > 0:
+            events.emit(
+                "relay.handoff", now, hop=index, carried_bytes=carried
+            )
+        scn = hop.scenario
+        streams = RandomStreams(seed=seed).fork(index + 1)
+        link = WirelessLink(
+            AerialChannel(_PROFILES[scn.name](), streams),
+            scalar_controller(controller),
+            streams=streams,
+            epoch_s=epoch_s,
+            outage=OutageSchedule.from_plan(plan),
+        )
+        batch = ImageBatch(batch_id=index, total_bytes=carried)
+        start_s = now
+        floor_m = choice.distance_m
+        speed = scn.cruise_speed_mps
+        d_start = scn.contact_distance_m
+
+        def distance_fn(
+            t_s: float,
+            floor_m: float = floor_m,
+            d_start: float = d_start,
+            speed: float = speed,
+            start_s: float = start_s,
+        ) -> float:
+            return max(floor_m, d_start - speed * (t_s - start_s))
+
+        transfer = ResumableFerryTransfer(
+            link,
+            batch,
+            retry=retry,
+            idle_timeout_s=idle_timeout_s,
+            max_resumes=max_resumes,
+        )
+        report = transfer.run(start_s, distance_fn, deadline_s=deadline_s)
+        now = report.finish_s
+        total_resumes += report.resumes
+        checkpoints.extend(report.checkpoints)
+        reports.append(
+            RelayHopReport(
+                hop=index,
+                policy=choice.policy,
+                dopt_m=floor_m,
+                start_s=start_s,
+                finish_s=report.finish_s,
+                carried_bytes=carried,
+                delivered_bytes=report.delivered_bytes,
+                completed=report.completed,
+                resumes=report.resumes,
+                blackout_retries=report.blackout_retries,
+            )
+        )
+        if events is not None:
+            events.emit(
+                "relay.hop",
+                now,
+                hop=index,
+                completed=report.completed,
+                delivered_bytes=report.delivered_bytes,
+                resumes=report.resumes,
+            )
+        carried = report.delivered_bytes
+        if not report.completed:
+            break
+        if index == chain.n_hops - 1:
+            chain_completed = True
+
+    delivered = reports[-1].delivered_bytes if (
+        reports and len(reports) == chain.n_hops
+    ) else 0
+    if obs is not None and obs.metrics is not None:
+        obs.metrics.counter("relay.transfer.resumes").inc(total_resumes)
+        obs.metrics.counter("relay.transfer.checkpoints").inc(
+            len(checkpoints)
+        )
+        obs.metrics.counter("relay.transfer.hops").inc(len(reports))
+        obs.metrics.gauge("relay.transfer.delivered_fraction").set(
+            delivered / total_bytes if total_bytes else 0.0
+        )
+    return RelayTransferResult(
+        chain=chain.name,
+        plan_name=plan.name,
+        seed=seed,
+        completed=chain_completed,
+        finish_s=now,
+        delivered_bytes=delivered,
+        total_bytes=total_bytes,
+        resumes=total_resumes,
+        hops=tuple(reports),
+        checkpoints=tuple(checkpoints),
+        deadline_s=deadline_s,
+    )

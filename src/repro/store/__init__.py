@@ -11,6 +11,7 @@ from .fingerprint import (
     ANALYSIS_CODE_MODULES,
     CAMPAIGN_CODE_MODULES,
     CHAOS_CODE_MODULES,
+    RELAY_CODE_MODULES,
     SOLVER_CODE_MODULES,
     STORE_SCHEMA_VERSION,
     canonical_json,
@@ -39,6 +40,7 @@ __all__ = [
     "CHAOS_CODE_MODULES",
     "DEFAULT_MAX_BYTES",
     "FileLock",
+    "RELAY_CODE_MODULES",
     "ResultStore",
     "SOLVER_CODE_MODULES",
     "STORE_SCHEMA_VERSION",

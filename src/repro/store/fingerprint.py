@@ -33,6 +33,7 @@ __all__ = [
     "ANALYSIS_CODE_MODULES",
     "CAMPAIGN_CODE_MODULES",
     "CHAOS_CODE_MODULES",
+    "RELAY_CODE_MODULES",
     "SOLVER_CODE_MODULES",
     "canonical_json",
     "code_fingerprint",
@@ -86,6 +87,25 @@ CHAOS_CODE_MODULES = (
     "repro.airframe",
     "repro.geo.coords",
     "repro.mac",
+    "repro.measurements.datasets",
+)
+
+#: Modules whose source shapes a relay-chain decision: the relay
+#: model/solvers plus the full single-link solver closure they chain.
+RELAY_CODE_MODULES = (
+    "repro.relay.batch",
+    "repro.relay.solver",
+    "repro.relay.chain",
+    "repro.engine.batch",
+    "repro.engine.cache",
+    "repro.core.optimizer",
+    "repro.core.throughput",
+    "repro.core.utility",
+    "repro.core.delay",
+    "repro.core.failure",
+    "repro.core.scenario",
+    "repro.core.mission",
+    "repro.airframe.platform",
     "repro.measurements.datasets",
 )
 

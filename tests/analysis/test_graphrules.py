@@ -133,6 +133,44 @@ class TestRL108FingerprintCompleteness:
         assert "repro.core.delay" in result.stdout
         assert "stale-cache" in result.stdout
 
+    def test_live_relay_tuple_mutation_fails_the_real_tree(self, tmp_path):
+        """Acceptance check for RELAY_CODE_MODULES: the relay solver's
+        import closure (entry ``repro.relay.batch``) reaches
+        ``repro.relay.chain``, so deleting that entry from a copy of
+        the real package must fail ``repro lint`` naming it."""
+        from repro.analysis import default_root
+
+        root = tmp_path / "repro"
+        shutil.copytree(
+            default_root(), root, ignore=shutil.ignore_patterns("__pycache__")
+        )
+        fingerprint = root / "store" / "fingerprint.py"
+        text = fingerprint.read_text()
+        assert text.count('    "repro.relay.chain",\n') == 1
+        fingerprint.write_text(
+            text.replace('    "repro.relay.chain",\n', "")
+        )
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path(repro.__file__).resolve().parent.parent)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "lint",
+                "--path", str(root), "--no-baseline", "--no-cache",
+                "--rule", "RL108",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=tmp_path,
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "repro.relay.chain" in result.stdout
+        assert "stale-cache" in result.stdout
+
 
 BAD_SINK = textwrap.dedent(
     """

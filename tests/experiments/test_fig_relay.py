@@ -1,0 +1,63 @@
+"""Golden tests for the relay-chain sweep (fig_relay)."""
+
+import pytest
+
+from repro.core import quadrocopter_scenario
+from repro.engine.batch import BatchSolverEngine
+from repro.experiments import fig_relay
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fig_relay.run()
+
+
+class TestShape:
+    def test_covers_the_full_grid(self, report):
+        assert sorted(report.data) == ["1", "2", "3", "4"]
+        for by_deadline in report.data.values():
+            assert sorted(by_deadline) == ["100", "30", "60", "inf"]
+
+    def test_lines_render(self, report):
+        text = report.as_text()
+        assert "fig_relay" in text
+        assert "chain utility decreases with length: yes" in text
+
+
+class TestGoldenValues:
+    def test_single_hop_equals_the_paper_solve(self, report):
+        """The length-1, unconstrained cell IS the paper's two-UAV
+        problem — pinned against an independent engine solve."""
+        decision = BatchSolverEngine().solve(
+            quadrocopter_scenario(mdata_mb=fig_relay.MDATA_MB)
+        )
+        cell = report.data["1"]["inf"]
+        assert cell.utility == decision.discount / decision.cdelay_s
+        assert cell.hops[0].distance_m == decision.distance_m
+
+    def test_utility_monotone_in_chain_length(self, report):
+        utilities = [
+            report.data[str(n)]["inf"].utility
+            for n in fig_relay.CHAIN_LENGTHS
+        ]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_deadline_only_tightens(self, report):
+        """For a fixed length, a deadline can only lower the utility
+        (or turn the chain infeasible) — never raise it."""
+        for by_deadline in report.data.values():
+            free = by_deadline["inf"]
+            assert free.meets_deadline
+            for key, cell in by_deadline.items():
+                if key == "inf":
+                    continue
+                if cell.meets_deadline:
+                    assert cell.utility <= free.utility
+                assert cell.delay_s >= free.delay_s or cell.meets_deadline
+
+    def test_rerun_is_deterministic(self, report):
+        again = fig_relay.run()
+        assert again.lines == report.lines
+        for length, by_deadline in report.data.items():
+            for key, cell in by_deadline.items():
+                assert again.data[length][key] == cell

@@ -1,0 +1,142 @@
+"""Property-based tests for the relay-chain solvers.
+
+Three contracts from the ISSUE, driven across random chains:
+
+* a 1-hop chain is *bit-identical* to the paper's two-UAV solve — the
+  relay layer must add exactly nothing to the single-link problem;
+* the chain utility is monotone non-increasing in every hop's failure
+  rate and in the hand-off overhead (more risk or more dead time can
+  never improve a chain);
+* the batch solver stays in R=1 lockstep with the scalar solver on
+  arbitrary chains, with fresh engines on both sides so shared memo
+  state cannot mask a divergence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import airplane_scenario, quadrocopter_scenario
+from repro.engine.batch import BatchSolverEngine
+from repro.relay import BatchRelaySolver, RelayChain, RelaySolver
+
+# The engine snaps near-ties to the span boundaries within a relative
+# slack of ~1e-4 (its _SNAP_REL), so monotonicity across re-solves is
+# only guaranteed to that tolerance.
+SNAP_SLACK_REL = 2e-4
+
+mdata_mb = st.floats(min_value=0.5, max_value=80.0, allow_nan=False)
+speed = st.floats(min_value=1.0, max_value=40.0, allow_nan=False)
+rho = st.floats(min_value=1e-6, max_value=5e-3, allow_nan=False)
+d0 = st.floats(min_value=60.0, max_value=900.0, allow_nan=False)
+handoff = st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+factories = st.sampled_from([airplane_scenario, quadrocopter_scenario])
+
+
+@st.composite
+def scenarios(draw):
+    factory = draw(factories)
+    return factory(
+        mdata_mb=draw(mdata_mb),
+        speed_mps=draw(speed),
+        rho_per_m=draw(rho),
+        d0_m=draw(d0),
+    )
+
+
+@st.composite
+def chains(draw, min_hops=1, max_hops=4):
+    hops = draw(
+        st.lists(scenarios(), min_size=min_hops, max_size=max_hops)
+    )
+    deadline_s = draw(
+        st.one_of(
+            st.none(), st.floats(min_value=10.0, max_value=2000.0)
+        )
+    )
+    return RelayChain.of(
+        hops, handoff_s=draw(handoff), deadline_s=deadline_s
+    )
+
+
+class TestOneHopBitIdentity:
+    @given(scenario=scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_two_uav_solve_bitwise(self, scenario):
+        engine = BatchSolverEngine()
+        decision = engine.solve(scenario)
+        relay = RelaySolver(engine).solve(RelayChain.of([scenario]))
+        (hop,) = relay.hops
+        assert hop.distance_m == decision.distance_m
+        assert hop.utility == decision.utility
+        assert hop.cdelay_s == decision.cdelay_s
+        assert hop.shipping_s == decision.shipping_s
+        assert hop.transmission_s == decision.transmission_s
+        assert hop.discount == decision.discount
+        assert relay.survival == decision.discount
+        assert relay.delay_s == decision.cdelay_s
+        assert relay.utility == decision.discount / decision.cdelay_s
+
+
+class TestMonotonicity:
+    @given(chain=chains(max_hops=3),
+           factor=st.floats(min_value=1.1, max_value=5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_utility_non_increasing_in_failure_rate(self, chain, factor):
+        riskier = RelayChain(
+            name=chain.name,
+            hops=tuple(
+                type(hop)(
+                    scenario=hop.scenario.with_(
+                        rho_per_m=hop.scenario.failure_rate_per_m * factor
+                    ),
+                    handoff_s=hop.handoff_s,
+                )
+                for hop in chain.hops
+            ),
+            deadline_s=chain.deadline_s,
+        )
+        solver = RelaySolver(BatchSolverEngine())
+        base = solver.solve(chain)
+        worse = solver.solve(riskier)
+        assert worse.utility <= base.utility * (1.0 + SNAP_SLACK_REL)
+
+    @given(chain=chains(min_hops=2, max_hops=3),
+           extra=st.floats(min_value=0.5, max_value=60.0))
+    @settings(max_examples=25, deadline=None)
+    def test_utility_non_increasing_in_handoff(self, chain, extra):
+        slower = RelayChain(
+            name=chain.name,
+            hops=(
+                chain.hops[0],
+                *(
+                    type(hop)(
+                        scenario=hop.scenario,
+                        handoff_s=hop.handoff_s + extra,
+                    )
+                    for hop in chain.hops[1:]
+                ),
+            ),
+            deadline_s=chain.deadline_s,
+        )
+        solver = RelaySolver(BatchSolverEngine())
+        base = solver.solve(chain)
+        worse = solver.solve(slower)
+        # Same candidates, strictly larger delays: exact comparison.
+        assert worse.utility <= base.utility
+
+
+class TestScalarBatchLockstep:
+    @given(chain=chains())
+    @settings(max_examples=30, deadline=None)
+    def test_single_chain_lockstep(self, chain):
+        scalar = RelaySolver(BatchSolverEngine()).solve(chain)
+        (batch,) = BatchRelaySolver(BatchSolverEngine()).solve([chain])
+        assert batch == scalar
+
+    @given(fleet=st.lists(chains(), min_size=2, max_size=4))
+    @settings(max_examples=15, deadline=None)
+    def test_fleet_lockstep(self, fleet):
+        scalar_engine = BatchSolverEngine()
+        scalar = [RelaySolver(scalar_engine).solve(c) for c in fleet]
+        batch = BatchRelaySolver(BatchSolverEngine()).solve(fleet)
+        assert list(batch) == scalar

@@ -1,0 +1,75 @@
+"""The batch relay solver: R=1 lockstep and fleet agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core import airplane_scenario, quadrocopter_scenario
+from repro.engine.batch import BatchSolverEngine
+from repro.relay import BatchRelaySolver, RelayChain, RelaySolver
+
+
+def _chain_fleet():
+    """A small mixed fleet: lengths, hand-offs and deadlines vary."""
+    quad, air = quadrocopter_scenario(), airplane_scenario()
+    return [
+        RelayChain.of([quad], name="solo"),
+        RelayChain.of([air], name="solo-air", mdata_mb=3.0),
+        RelayChain.of([quad, air], handoff_s=5.0, name="pair"),
+        RelayChain.of(
+            [air, quad, air], handoff_s=2.5, name="triple",
+            deadline_s=200.0, mdata_mb=1.5,
+        ),
+        RelayChain.of(
+            [quad] * 4, handoff_s=[1.0, 2.0, 3.0], name="quad4",
+            deadline_s=90.0,
+        ),
+    ]
+
+
+class TestLockstep:
+    @pytest.mark.parametrize("index", range(5))
+    def test_r1_bit_identical_to_scalar(self, index):
+        # Fresh engines per path: lockstep must not depend on shared
+        # memo state between the scalar and batch solves.
+        chain = _chain_fleet()[index]
+        scalar = RelaySolver(BatchSolverEngine()).solve(chain)
+        (batch,) = BatchRelaySolver(BatchSolverEngine()).solve([chain])
+        assert batch == scalar
+
+    def test_fleet_matches_scalar_per_chain(self):
+        chains = _chain_fleet()
+        scalar_engine = BatchSolverEngine()
+        scalar = [RelaySolver(scalar_engine).solve(c) for c in chains]
+        batch = BatchRelaySolver(BatchSolverEngine()).solve(chains)
+        assert list(batch) == scalar
+
+
+class TestBatchResultSurface:
+    def test_arrays_and_indexing(self):
+        chains = _chain_fleet()
+        result = BatchRelaySolver().solve(chains)
+        assert len(result) == len(chains)
+        np.testing.assert_array_equal(
+            result.utility, [d.utility for d in result.decisions]
+        )
+        np.testing.assert_array_equal(
+            result.survival, [d.survival for d in result.decisions]
+        )
+        np.testing.assert_array_equal(
+            result.delay_s, [d.delay_s for d in result.decisions]
+        )
+        assert result[2] == result.decisions[2]
+        assert [d["chain"] for d in result.to_dicts()] == [
+            "solo", "solo-air", "pair", "triple", "quad4",
+        ]
+
+    def test_obs_counts_every_chain_and_hop(self):
+        from repro.obs import ObsContext
+
+        obs = ObsContext.enabled(deterministic=True)
+        chains = _chain_fleet()
+        BatchRelaySolver().solve(chains, obs=obs)
+        counters = obs.metrics.to_dict()["counters"]
+        assert counters["relay.chains"] == len(chains)
+        assert counters["relay.hops"] == sum(c.n_hops for c in chains)
+        assert obs.events.kinds()["decision.relay"] == len(chains)

@@ -1,0 +1,110 @@
+"""The RelayChain / RelayHop scenario model."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import airplane_scenario, quadrocopter_scenario
+from repro.relay import RelayChain, RelayHop
+
+
+class TestRelayHop:
+    def test_negative_handoff_rejected(self, quad_scenario):
+        with pytest.raises(ValueError, match="handoff_s"):
+            RelayHop(scenario=quad_scenario, handoff_s=-1.0)
+
+    def test_to_dict_echoes_scenario(self, quad_scenario):
+        payload = RelayHop(scenario=quad_scenario, handoff_s=3.0).to_dict()
+        assert payload["scenario"] == "quadrocopter"
+        assert payload["handoff_s"] == 3.0
+        assert payload["d0_m"] == quad_scenario.contact_distance_m
+        assert payload["dmin_m"] == quad_scenario.min_distance_m
+
+
+class TestRelayChainOf:
+    def test_normalises_mdata_to_first_hop(self):
+        chain = RelayChain.of(
+            [quadrocopter_scenario(), airplane_scenario()]
+        )
+        bits = quadrocopter_scenario().data_bits
+        assert all(h.scenario.data_bits == bits for h in chain.hops)
+        assert chain.data_bits == bits
+
+    def test_explicit_mdata_overrides_every_hop(self):
+        chain = RelayChain.of(
+            [quadrocopter_scenario(), airplane_scenario()], mdata_mb=2.0
+        )
+        assert all(h.scenario.data_bits == 2.0 * 8e6 for h in chain.hops)
+
+    def test_scalar_handoff_skips_first_hop(self):
+        chain = RelayChain.of(
+            [quadrocopter_scenario()] * 3, handoff_s=4.0
+        )
+        assert [h.handoff_s for h in chain.hops] == [0.0, 4.0, 4.0]
+        assert chain.total_handoff_s == 8.0
+
+    def test_handoff_sequence_of_n_minus_one(self):
+        chain = RelayChain.of(
+            [quadrocopter_scenario()] * 3, handoff_s=[1.0, 2.0]
+        )
+        assert [h.handoff_s for h in chain.hops] == [0.0, 1.0, 2.0]
+
+    def test_handoff_sequence_of_n(self):
+        chain = RelayChain.of(
+            [quadrocopter_scenario()] * 2, handoff_s=[0.5, 1.5]
+        )
+        assert [h.handoff_s for h in chain.hops] == [0.5, 1.5]
+
+    def test_wrong_handoff_length_rejected(self):
+        with pytest.raises(ValueError, match="one entry per hop"):
+            RelayChain.of(
+                [quadrocopter_scenario()] * 3, handoff_s=[1.0]
+            )
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError, match="at least one hop"):
+            RelayChain.of([])
+        with pytest.raises(ValueError, match="at least one hop"):
+            RelayChain(name="empty", hops=())
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline_s"):
+            RelayChain.of([quadrocopter_scenario()], deadline_s=0.0)
+
+
+class TestRelayChainSurface:
+    def test_scenarios_in_chain_order(self):
+        chain = RelayChain.of(
+            [quadrocopter_scenario(), airplane_scenario()]
+        )
+        names = [scn.name for scn in chain.scenarios()]
+        assert names == ["quadrocopter", "airplane"]
+        assert chain.n_hops == 2
+
+    def test_cache_key_covers_handoff_and_deadline(self):
+        base = [quadrocopter_scenario(), airplane_scenario()]
+        key = RelayChain.of(base, handoff_s=5.0).cache_key()
+        assert key is not None
+        assert key != RelayChain.of(base, handoff_s=6.0).cache_key()
+        assert key != RelayChain.of(
+            base, handoff_s=5.0, deadline_s=60.0
+        ).cache_key()
+
+    def test_uncacheable_hop_poisons_the_chain_key(self):
+        quad = quadrocopter_scenario()
+        opaque = dataclasses.replace(quad, throughput=object())
+        chain = RelayChain.of([quad, opaque])
+        assert chain.cache_key() is None
+
+    def test_to_dict_shape(self):
+        chain = RelayChain.of(
+            [quadrocopter_scenario()] * 2,
+            handoff_s=5.0,
+            name="pair",
+            deadline_s=120.0,
+        )
+        payload = chain.to_dict()
+        assert payload["chain"] == "pair"
+        assert payload["n_hops"] == 2
+        assert payload["deadline_s"] == 120.0
+        assert len(payload["hops"]) == 2

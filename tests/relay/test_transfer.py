@@ -1,0 +1,115 @@
+"""Relay transfers under fault plans: resume, byte conservation."""
+
+import pytest
+
+from repro.core import airplane_scenario, quadrocopter_scenario
+from repro.faults import FaultPlan
+from repro.relay import RelayChain, RelaySolver, run_relay_transfer
+
+
+@pytest.fixture
+def pair_chain():
+    return RelayChain.of(
+        [quadrocopter_scenario(), airplane_scenario()],
+        handoff_s=5.0,
+        name="pair",
+        mdata_mb=2.0,
+    )
+
+
+class TestFaultFree:
+    def test_chain_completes_and_conserves_bytes(self, pair_chain):
+        result = run_relay_transfer(pair_chain, FaultPlan(), seed=1)
+        assert result.completed
+        assert result.delivered_bytes == result.total_bytes == 2_000_000
+        assert result.byte_ledger_consistent()
+        assert len(result.hops) == 2
+        assert result.resumes == 0
+
+    def test_hops_execute_in_order_on_one_clock(self, pair_chain):
+        result = run_relay_transfer(pair_chain, FaultPlan(), seed=1)
+        first, second = result.hops
+        assert first.hop == 0 and second.hop == 1
+        # Hop 1 starts after hop 0's finish plus the 5 s hand-off.
+        assert second.start_s == pytest.approx(first.finish_s + 5.0)
+        assert result.finish_s == second.finish_s
+
+    def test_replay_is_deterministic(self, pair_chain):
+        plan = FaultPlan()
+        a = run_relay_transfer(pair_chain, plan, seed=7)
+        b = run_relay_transfer(pair_chain, plan, seed=7)
+        assert a.to_dict() == b.to_dict()
+
+    def test_unknown_scenario_profile_rejected(self):
+        chain = RelayChain.of(
+            [quadrocopter_scenario().with_(name="balloon")]
+        )
+        with pytest.raises(ValueError, match="balloon"):
+            run_relay_transfer(chain, FaultPlan())
+
+
+class TestInteriorOutage:
+    """A link outage landing at an interior hop (the chaos contract)."""
+
+    def _interior_outage_plan(self, pair_chain, duration_s=4.0):
+        baseline = run_relay_transfer(pair_chain, FaultPlan(), seed=1)
+        second = baseline.hops[1]
+        return baseline, FaultPlan().with_outage(
+            at_s=second.start_s + 1.0, duration_s=duration_s
+        )
+
+    def test_interrupted_hop_resumes_and_delivers_everything(
+            self, pair_chain):
+        baseline, plan = self._interior_outage_plan(pair_chain)
+        result = run_relay_transfer(
+            pair_chain, plan, seed=1, decision=RelaySolver().solve(pair_chain)
+        )
+        assert result.completed
+        assert result.resumes >= 1
+        assert len(result.checkpoints) >= 1
+        # Exact byte conservation across blackout/checkpoint/resume:
+        # the chain still hands the full batch to the ground.
+        assert result.delivered_bytes == result.total_bytes
+        assert result.byte_ledger_consistent()
+        # The interruption hit hop 1, not hop 0.
+        assert result.hops[0].resumes == 0
+        assert result.hops[1].resumes >= 1
+        assert result.finish_s > baseline.finish_s
+
+    def test_first_hop_unchanged_by_interior_outage(self, pair_chain):
+        baseline, plan = self._interior_outage_plan(pair_chain)
+        result = run_relay_transfer(pair_chain, plan, seed=1)
+        assert result.hops[0].to_dict() == baseline.hops[0].to_dict()
+
+    def test_interrupted_replay_is_deterministic(self, pair_chain):
+        _, plan = self._interior_outage_plan(pair_chain)
+        a = run_relay_transfer(pair_chain, plan, seed=1)
+        b = run_relay_transfer(pair_chain, plan, seed=1)
+        assert a.to_dict() == b.to_dict()
+
+    def test_deadline_cuts_the_chain_short(self, pair_chain):
+        baseline, plan = self._interior_outage_plan(pair_chain)
+        # Deadline between hop 0's finish and the chain's finish:
+        # hop 1 cannot complete, so nothing reaches the ground.
+        deadline = RelayChain(
+            name=pair_chain.name,
+            hops=pair_chain.hops,
+            deadline_s=(baseline.hops[0].finish_s + baseline.finish_s) / 2.0,
+        )
+        result = run_relay_transfer(deadline, plan, seed=1)
+        assert not result.completed
+        assert result.delivered_bytes == 0
+        assert result.byte_ledger_consistent()
+
+    def test_obs_records_hops_and_handoffs(self, pair_chain):
+        from repro.obs import ObsContext
+
+        _, plan = self._interior_outage_plan(pair_chain)
+        obs = ObsContext.enabled(deterministic=True)
+        result = run_relay_transfer(pair_chain, plan, seed=1, obs=obs)
+        kinds = obs.events.kinds()
+        assert kinds["relay.hop"] == 2
+        assert kinds["relay.handoff"] == 1
+        counters = obs.metrics.to_dict()["counters"]
+        assert counters["relay.transfer.resumes"] == result.resumes
+        assert counters["relay.transfer.hops"] == 2

@@ -463,3 +463,81 @@ class TestChaosJsonManifest:
             self._unstamped(cli_line.rstrip("\n"))
             == self._unstamped(result.manifest.to_json())
         )
+
+
+class TestRelayCommand:
+    RELAY_ARGS = ["relay", "--hops", "quadrocopter,airplane",
+                  "--mdata-mb", "2", "--deadline", "300"]
+
+    def test_text_summary(self, capsys):
+        assert main(self.RELAY_ARGS + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "chain             : quadrocopter-airplane (2 hop(s))" in out
+        assert "chain utility" in out
+        assert "deadline 300 s, met" in out
+
+    def test_json_manifest_shape(self, capsys):
+        assert main(self.RELAY_ARGS + ["--json", "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "relay"
+        assert payload["config"]["n_hops"] == 2
+        assert [h["policy"] for h in payload["outputs"]["hops"]]
+        assert payload["outputs"]["meets_deadline"] is True
+        # No CLI-boundary wall-clock stamp: relay manifests must be
+        # byte-reproducible across cold and warm runs.
+        assert payload["created_unix_s"] is None
+
+    def test_missed_deadline_exits_nonzero(self, capsys):
+        args = ["relay", "--hops", "quadrocopter,quadrocopter",
+                "--deadline", "1", "--no-cache"]
+        assert main(args) == 1
+        assert "MISSED" in capsys.readouterr().out
+
+    def test_single_hop_matches_solve(self, capsys):
+        from repro.api import scenario, solve
+
+        assert main(["relay", "--hops", "quadrocopter", "--json",
+                     "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        decision = solve(scenario("quadrocopter")).outputs
+        (hop,) = payload["outputs"]["hops"]
+        assert hop["distance_m"] == decision.distance_m
+        assert payload["outputs"]["utility"] == (
+            decision.discount / decision.cdelay_s
+        )
+
+    def test_unknown_hop_rejected(self, capsys):
+        assert main(["relay", "--hops", "zeppelin", "--no-cache"]) == 2
+        assert "zeppelin" in capsys.readouterr().err
+
+    def test_empty_hops_rejected(self, capsys):
+        assert main(["relay", "--hops", ",", "--no-cache"]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_json_cold_warm_byte_identity(self, tmp_path, monkeypatch,
+                                          capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert main(self.RELAY_ARGS + ["--json"]) == 0
+        cold = capsys.readouterr().out
+        assert main(self.RELAY_ARGS + ["--json"]) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+
+    def test_json_matches_library_bytes(self, tmp_path, monkeypatch,
+                                        capsys):
+        from repro.api import scenario, solve_relay
+        from repro.relay import RelayChain
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert main(self.RELAY_ARGS + ["--json"]) == 0
+        cli_line = capsys.readouterr().out.rstrip("\n")
+        chain = RelayChain.of(
+            [scenario("quadrocopter"), scenario("airplane")],
+            handoff_s=5.0,
+            name="quadrocopter-airplane",
+            deadline_s=300.0,
+            mdata_mb=2.0,
+        )
+        assert cli_line == solve_relay(chain).manifest.to_json()
