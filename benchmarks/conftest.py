@@ -21,10 +21,19 @@ def dump_bench_json(payload: dict, filename: str = "BENCH_campaign.json") -> str
     CI uploads the file as a build artifact so benchmark history can be
     compared across runs without scraping console output.  Returns the
     path written.
+
+    Manifest-shaped payloads (a ``repro.obs.RunManifest`` dict with a
+    still-null ``created_unix_s``) get their provenance stamp here —
+    the benchmark script boundary, mirroring what the CLI does — so
+    the library manifest itself stays unstamped and replay-identical.
     """
     import json
     import os
 
+    if isinstance(payload, dict) and payload.get("created_unix_s", 0) is None:
+        from repro.perf import unix_clock
+
+        payload = {**payload, "created_unix_s": unix_clock()}
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     path = os.path.join(root, filename)
     with open(path, "w") as fh:

@@ -24,8 +24,12 @@ The rules (see :mod:`repro.analysis.base` and docs/STATIC_ANALYSIS.md):
   sanctioned :mod:`repro.perf` / seeded-stream APIs.
 * **RL110 obs-guard-discipline** — hot-path ``obs.*`` call sites sit
   behind the ``obs is None`` zero-cost guard.
+* **RL111 exec-backend-discipline** — ``ProcessPoolExecutor`` /
+  ``multiprocessing.Pool`` are constructed only inside
+  :mod:`repro.exec`; everything else goes through the shared
+  execution backend.
 
-RL105/RL108/RL109 are *whole-program* rules built on the import graph
+RL105/RL108/RL109/RL111 are *whole-program* rules built on the import graph
 and module summaries in :mod:`repro.analysis.graph`.  The runner is
 incremental: with the result store enabled, per-file records are
 cached by content hash and warm runs re-check only changed files.
@@ -55,8 +59,9 @@ from .graph import (  # noqa: F401
     module_name,
     summarize_module,
 )
-from .graphrules import (  # noqa: F401  (registers RL108-RL110)
+from .graphrules import (  # noqa: F401  (registers RL108-RL111)
     DeterminismTaintChecker,
+    ExecBackendDisciplineChecker,
     FingerprintCompletenessChecker,
     ObsGuardChecker,
 )
@@ -87,6 +92,7 @@ __all__ = [
     "FingerprintCompletenessChecker",
     "DeterminismTaintChecker",
     "ObsGuardChecker",
+    "ExecBackendDisciplineChecker",
     "ParityPair",
     "ImportGraph",
     "ModuleSummary",

@@ -28,14 +28,17 @@ RL109     determinism-taint — wall-clock/entropy/env reads never reach
           sanctioned :mod:`repro.perf` / seeded-stream APIs
 RL110     obs-guard discipline — ``obs.*`` call sites in hot-path
           modules sit behind the ``obs is None`` zero-cost pattern
+RL111     exec-backend discipline — ``ProcessPoolExecutor`` /
+          ``multiprocessing.Pool`` are constructed only inside
+          :mod:`repro.exec`
 ========  ============================================================
 
 Checkers come in two shapes: *module* checkers (see
 :class:`ModuleChecker`) visit one file at a time; *tree* checkers (see
 :class:`TreeChecker`) receive the whole :class:`~repro.analysis.graph.Program`
 — every module's summary plus the import graph — which RL105 needs to
-pair classes across files and RL108/RL109 need for closure and taint
-context.
+pair classes across files, RL108/RL109 need for closure and taint
+context, and RL111 needs to sweep pool-construction sites per file.
 """
 
 from __future__ import annotations

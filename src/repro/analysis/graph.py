@@ -216,6 +216,9 @@ class ModuleSummary:
     str_tuples: Dict[str, StrTuple] = field(default_factory=dict)
     #: Determinism-taint candidates (see :mod:`repro.analysis.taint`).
     taint: List[Dict[str, object]] = field(default_factory=list)
+    #: Direct worker-pool constructions (``ProcessPoolExecutor`` /
+    #: ``multiprocessing.Pool`` call sites) for RL111.
+    pool_calls: List[Dict[str, object]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -231,6 +234,7 @@ class ModuleSummary:
                 for name, entry in self.str_tuples.items()
             },
             "taint": [dict(c) for c in self.taint],
+            "pool_calls": [dict(c) for c in self.pool_calls],
         }
 
     @classmethod
@@ -260,6 +264,7 @@ class ModuleSummary:
                 ).items()
             },
             taint=[dict(c) for c in payload.get("taint", [])],
+            pool_calls=[dict(c) for c in payload.get("pool_calls", [])],
         )
 
 
@@ -393,7 +398,70 @@ def summarize_module(module: ModuleInfo) -> ModuleSummary:
                 )
             )
     summary.taint = taint_candidates(module, dotted)
+    summary.pool_calls = _pool_call_sites(module)
     return summary
+
+
+def _pool_call_sites(module: ModuleInfo) -> List[Dict[str, object]]:
+    """Direct worker-pool constructions in one file (for RL111).
+
+    Flags calls that *create* a process pool — ``ProcessPoolExecutor``
+    under any import spelling, and ``Pool`` resolved (via the file's
+    own imports) to :mod:`multiprocessing`.  Attribute forms
+    (``futures.ProcessPoolExecutor``) match on the attribute name
+    alone: over-approximating is the safe direction for a discipline
+    rule, and false positives carry an inline-suppression escape
+    hatch.
+    """
+    mp_aliases = {"multiprocessing"}
+    executor_names = {"ProcessPoolExecutor"}
+    pool_names: set = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "multiprocessing" and alias.asname:
+                    mp_aliases.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.startswith("concurrent"):
+                for alias in node.names:
+                    if alias.name == "ProcessPoolExecutor":
+                        executor_names.add(alias.asname or alias.name)
+            if (
+                node.module == "multiprocessing"
+                or node.module.startswith("multiprocessing.")
+            ):
+                for alias in node.names:
+                    if alias.name == "Pool":
+                        pool_names.add(alias.asname or alias.name)
+    sites: List[Dict[str, object]] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            if func.id in executor_names:
+                name = "ProcessPoolExecutor"
+            elif func.id in pool_names:
+                name = "multiprocessing.Pool"
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "ProcessPoolExecutor":
+                name = "ProcessPoolExecutor"
+            elif (
+                func.attr == "Pool"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in mp_aliases
+            ):
+                name = "multiprocessing.Pool"
+        if name is not None:
+            sites.append(
+                {
+                    "name": name,
+                    "line": node.lineno,
+                    "snippet": module.snippet(node.lineno),
+                }
+            )
+    return sites
 
 
 # ----------------------------------------------------------------------

@@ -1,9 +1,10 @@
-"""Whole-program rules RL108-RL110 built on the import graph.
+"""Whole-program rules RL108-RL111 built on the import graph.
 
-RL108 (fingerprint-completeness) and RL109 (determinism-taint) are
-tree checkers over :class:`~repro.analysis.graph.Program`; RL110
-(obs-guard discipline) is a module checker restricted to the hot-path
-files where a missed guard costs real time.
+RL108 (fingerprint-completeness), RL109 (determinism-taint) and RL111
+(exec-backend discipline) are tree checkers over
+:class:`~repro.analysis.graph.Program`; RL110 (obs-guard discipline)
+is a module checker restricted to the hot-path files where a missed
+guard costs real time.
 """
 
 from __future__ import annotations
@@ -23,9 +24,11 @@ from .graph import PACKAGE, Program
 
 __all__ = [
     "DeterminismTaintChecker",
+    "ExecBackendDisciplineChecker",
     "FingerprintCompletenessChecker",
     "ObsGuardChecker",
     "ENTRY_MODULES",
+    "EXEC_PATH_PREFIX",
     "PRUNE_PREFIXES",
 ]
 
@@ -47,12 +50,15 @@ ENTRY_MODULES = {
 #: caching, observability, reporting and CLI plumbing are
 #: result-neutral by contract (the store layer importing the engine
 #: must not drag the engine into every closure that merely caches).
-#: The bare package root is pruned too (exact match — see
-#: :meth:`ImportGraph.closure`).
+#: ``repro.exec`` qualifies because serial and pooled execution are
+#: pinned byte-identical by the invariance suites — scheduling can
+#: never change a cached result.  The bare package root is pruned too
+#: (exact match — see :meth:`ImportGraph.closure`).
 PRUNE_PREFIXES = (
     PACKAGE,
     "repro.perf",
     "repro.obs",
+    "repro.exec",
     "repro.store",
     "repro.analysis",
     "repro.report",
@@ -251,6 +257,66 @@ class DeterminismTaintChecker(TreeChecker):
                             snippet=snippet,
                         )
                     )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RL111 — exec-backend discipline
+# ----------------------------------------------------------------------
+
+#: The one root-relative subtree allowed to construct worker pools.
+EXEC_PATH_PREFIX = "exec/"
+
+
+@register_checker
+class ExecBackendDisciplineChecker(TreeChecker):
+    """RL111: worker pools are built only inside ``repro/exec/``.
+
+    The execution backend is the single owner of process pools: it
+    amortises spawn cost across call sites, guards against fork
+    hazards, recovers from worker crashes, and keeps dispatch
+    result-neutral.  A ``ProcessPoolExecutor`` or
+    ``multiprocessing.Pool`` constructed anywhere else reintroduces
+    exactly the per-call spawn + pickle overhead the backend exists to
+    remove — and dodges its determinism and recovery contracts.  Route
+    the work through :func:`repro.exec.default_backend` /
+    :func:`repro.exec.backend_for` instead (thread pools for
+    GIL-releasing NumPy stages go through ``thread_map``).
+    """
+
+    rule = Rule(
+        id="RL111",
+        name="exec-backend-discipline",
+        summary=(
+            "ProcessPoolExecutor/multiprocessing.Pool must only be "
+            "constructed inside repro/exec/ — go through the "
+            "execution backend"
+        ),
+    )
+
+    def check_program(self, program: Program) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in sorted(program.summaries):
+            if path.startswith(EXEC_PATH_PREFIX):
+                continue
+            summary = program.summaries[path]
+            for site in summary.pool_calls:
+                name = str(site.get("name", "a worker pool"))
+                findings.append(
+                    Finding(
+                        rule=self.rule.id,
+                        path=path,
+                        line=int(site.get("line", 0)),
+                        message=(
+                            f"direct {name} construction outside "
+                            "repro/exec/; use the shared execution "
+                            "backend (repro.exec.default_backend / "
+                            "backend_for) so pools are reused, "
+                            "fork-safe and crash-recovering"
+                        ),
+                        snippet=str(site.get("snippet", "")),
+                    )
+                )
         return findings
 
 

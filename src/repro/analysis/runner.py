@@ -18,9 +18,11 @@ but they read summaries, never source, so the warm path does zero
 parsing for unchanged files and the report is byte-identical to a cold
 run (telemetry aside).
 
-**Parallel cold runs.**  Cache misses are parsed and checked in a
-``ProcessPoolExecutor`` once there are enough of them to pay for the
-fork (``jobs=`` controls the width; ``jobs=1`` forces serial).
+**Parallel cold runs.**  Cache misses are parsed and checked on the
+persistent :mod:`repro.exec` process pool (``jobs=`` controls the
+width; ``jobs=1`` forces serial).  The backend's adaptive shard
+planner groups files into dispatch chunks, replacing the old
+``n_jobs * 4`` chunking heuristic.
 
 Wall-clock per stage is charged to a :class:`repro.perf.PerfTelemetry`
 (``walk`` / ``cache`` / ``parse`` / ``check:<tree-rule>`` /
@@ -35,11 +37,11 @@ import hashlib
 import json
 import os
 import subprocess
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from ..exec import backend_for
 from ..perf import PerfTelemetry
 from ..store.fingerprint import ANALYSIS_CODE_MODULES, config_key
 from ..store.store import ResultStore, resolve_store
@@ -68,10 +70,11 @@ __all__ = [
 BASELINE_FILENAME = ".reprolint-baseline.json"
 
 #: Bumped whenever the per-file record layout changes, so stale cache
-#: entries from an older reprolint simply miss.
-_RECORD_VERSION = 1
+#: entries from an older reprolint simply miss.  2: ModuleSummary grew
+#: the ``pool_calls`` field RL111 reads.
+_RECORD_VERSION = 2
 
-#: Below this many cache misses the fork overhead of a process pool
+#: Below this many cache misses even a warm pool's dispatch overhead
 #: outweighs the parallel parse; stay serial.
 _PARALLEL_MIN_FILES = 16
 
@@ -289,18 +292,16 @@ def _check_files(
         payload = [
             (path, source, tuple(module_rule_ids)) for path, source in items
         ]
-        chunksize = max(1, len(items) // (n_jobs * 4))
-        try:
-            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-                results = dict(
-                    pool.map(_check_file_worker, payload, chunksize=chunksize)
-                )
+        pairs, report = backend_for(n_jobs).map(
+            _check_file_worker,
+            payload,
+            parallel=True,
+            family="lint.file",
+            with_report=True,
+        )
+        if report.pooled:
             telemetry.count("lint.parallel.files", len(items))
-            return results
-        except (OSError, RuntimeError):
-            # Pool creation/teardown failed (sandboxed env, dead
-            # worker): degrade to the serial path below.
-            pass
+        return dict(pairs)
     return {
         path: _check_file_record(path, source, module_rule_ids)
         for path, source in items

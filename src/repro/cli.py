@@ -11,7 +11,7 @@ bench       Time the replica-batched campaign engine vs the scalar one.
 chaos       Run a solved mission under a deterministic fault plan.
 cache       Persistent result-store maintenance (stats/gc/clear/verify).
 obs         Observability utilities (``obs summarize`` digests manifests).
-lint        Run the reprolint domain-invariant checkers (RL101-RL110).
+lint        Run the reprolint domain-invariant checkers (RL101-RL111).
 
 ``solve``, ``sweep``, ``experiment``, ``bench``, ``chaos`` and ``lint``
 accept ``--json`` for machine-readable output.  ``bench --json`` and
@@ -32,6 +32,13 @@ docs/PERFORMANCE.md, "Result store & incremental sweeps").  ``lint``
 caches per-file analysis records, so warm runs re-check only changed
 files; ``lint --sarif FILE`` writes a SARIF 2.1.0 log for CI inline
 annotation and ``lint --changed`` reports only on git-modified files.
+
+``sweep``, ``bench``, ``chaos``, ``relay`` and ``lint`` take the
+global ``--jobs N`` / ``--serial`` flags, which point the shared
+execution backend (:mod:`repro.exec`) at a worker count or force the
+in-process path for the whole command.  Results are byte-identical
+either way — the flags only trade wall-clock for process count.
+``bench --no-parallel`` is a deprecated alias for ``--serial``.
 
 The CLI talks to the library exclusively through the stable
 :mod:`repro.api` façade — no ``repro.core`` internals.
@@ -73,6 +80,44 @@ def _cache_kwargs(args: argparse.Namespace) -> dict:
         "cache": False if args.no_cache else None,
         "refresh": args.refresh,
     }
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    """``--jobs`` / ``--serial`` for commands that fan work out."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the shared execution backend "
+             "(default: REPRO_EXEC_WORKERS or the CPU count; 1 = one "
+             "worker, still pooled)",
+    )
+    parser.add_argument(
+        "--serial", action="store_true",
+        help="run everything in-process, bypassing the worker pool "
+             "(results are byte-identical either way)",
+    )
+
+
+def _configure_exec(args: argparse.Namespace) -> None:
+    """Point :mod:`repro.exec` at this command's ``--jobs``/``--serial``.
+
+    Also maps the deprecated per-command knobs (``bench --no-parallel``)
+    onto the new flags, warning once per invocation.
+    """
+    import warnings
+
+    from . import exec as exec_backend
+
+    serial = bool(getattr(args, "serial", False))
+    if getattr(args, "no_parallel", False):
+        warnings.warn(
+            "--no-parallel is deprecated; use the global --serial flag",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        serial = True
+    exec_backend.configure(
+        workers=getattr(args, "jobs", None), serial=serial
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -167,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
              "and write the obs-bearing manifest to FILE",
     )
     _add_cache_flags(sweep)
+    _add_exec_flags(sweep)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -218,7 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--no-parallel", action="store_true",
-        help="disable the process-pool fan-out",
+        help="deprecated alias for --serial",
     )
     bench.add_argument(
         "--json",
@@ -226,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one JSON report with timings and telemetry",
     )
     _add_cache_flags(bench)
+    _add_exec_flags(bench)
 
     chaos = sub.add_parser(
         "chaos",
@@ -271,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the deterministic chaos report as one JSON object",
     )
     _add_cache_flags(chaos)
+    _add_exec_flags(chaos)
 
     relay = sub.add_parser(
         "relay",
@@ -299,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the relay run manifest as one JSON object",
     )
     _add_cache_flags(relay)
+    _add_exec_flags(relay)
 
     cache = sub.add_parser(
         "cache", help="persistent result-store maintenance"
@@ -343,7 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the reprolint domain-invariant checkers (RL101-RL110)",
+        help="run the reprolint domain-invariant checkers (RL101-RL111)",
     )
     lint.add_argument(
         "--path", default=None, metavar="DIR",
@@ -380,11 +429,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="report findings only for files modified vs git "
              "(full run outside a git checkout)",
     )
-    lint.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="worker processes for cold files (default: auto; 1 = serial)",
-    )
     _add_cache_flags(lint)
+    _add_exec_flags(lint)
     return parser
 
 
@@ -512,6 +558,7 @@ def _sweep_values(args: argparse.Namespace) -> List[float]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .api import sweep
 
+    _configure_exec(args)
     scenario = _scenario_with_overrides(args)
     values = _sweep_values(args)
     obs = None
@@ -736,6 +783,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .measurements.batch import BatchCampaignConfig
     from .obs import ObsContext
 
+    _configure_exec(args)
     config = BatchCampaignConfig(
         profile=args.profile,
         controller=args.controller,
@@ -747,7 +795,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     obs = ObsContext.enabled(deterministic=True) if args.json else None
     report = bench_report(
         config,
-        parallel=False if args.no_parallel else None,
+        parallel=False if (args.no_parallel or args.serial) else None,
         scalar_replicas=args.scalar_replicas,
         obs=obs,
         **_cache_kwargs(args),
@@ -813,6 +861,7 @@ def _chaos_plan(args: argparse.Namespace) -> "Any":
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .api import chaos
 
+    _configure_exec(args)
     plan = _chaos_plan(args)
     result = chaos(
         plan,
@@ -865,6 +914,7 @@ def _cmd_relay(args: argparse.Namespace) -> int:
     from .api import solve_relay
     from .relay import RelayChain
 
+    _configure_exec(args)
     names = [name.strip() for name in args.hops.split(",") if name.strip()]
     if not names:
         print("relay: --hops needs at least one scenario", file=sys.stderr)
@@ -954,6 +1004,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         write_sarif,
     )
 
+    _configure_exec(args)
     root = Path(args.path) if args.path else default_root()
     baseline_path = Path(args.baseline) if args.baseline else None
     report = run_lint(
@@ -961,7 +1012,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         rules=args.rules,
         baseline_path=baseline_path,
         use_baseline=not args.no_baseline,
-        jobs=args.jobs,
+        jobs=1 if args.serial else args.jobs,
         changed_only=args.changed,
         **_cache_kwargs(args),
     )

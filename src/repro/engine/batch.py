@@ -21,15 +21,16 @@ pass:
    parameter tuple in an LRU, so planners re-solving the same geometry
    and repeated sweeps cost one hash lookup.
 5. **Chunked fan-out** — very large batches are split into chunks
-   solved on a ``concurrent.futures`` thread pool (NumPy releases the
-   GIL for the heavy array ops).
+   solved on the persistent :mod:`repro.exec` thread pool (NumPy
+   releases the GIL for the heavy array ops).  ``chunk_size`` is part
+   of the numeric contract — each chunk's grid resolution derives from
+   its own span — so fan-out never re-chunks adaptively.
 """
 
 from __future__ import annotations
 
 import math
 import os
-from concurrent import futures
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -326,8 +327,11 @@ class BatchSolverEngine:
                 # contention around the vectorised chunks.
                 parallel = len(chunks) > 1 and (os.cpu_count() or 1) > 1
             if parallel and len(chunks) > 1:
-                with futures.ThreadPoolExecutor(self.max_workers) as pool:
-                    solved_chunks = list(pool.map(self._solve_chunk, chunks))
+                from ..exec import default_backend
+
+                solved_chunks = default_backend().thread_map(
+                    self._solve_chunk, chunks, max_workers=self.max_workers
+                )
             else:
                 solved_chunks = [self._solve_chunk(chunk) for chunk in chunks]
             solved = [d for chunk in solved_chunks for d in chunk]

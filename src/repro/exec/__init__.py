@@ -1,0 +1,50 @@
+"""``repro.exec`` — the process-wide execution backend.
+
+One persistent worker pool shared by every parallel stage in the
+pipeline (measurement campaigns, relay campaigns, the lint runner,
+the batch engine's thread fan-out), with:
+
+* lazily-spawned, PID-guarded ``ProcessPoolExecutor``/
+  ``ThreadPoolExecutor`` pools and an explicit :func:`shutdown`;
+* shared-memory structure-of-arrays result transport
+  (:class:`ArrayPayload`), pickling only small/non-array payloads;
+* adaptive dispatch sharding (:class:`~repro.exec.sharding.ShardPlanner`)
+  seeded from :class:`repro.perf.PerfTelemetry` timings;
+* crash recovery — broken pools respawn and undelivered chunks
+  re-run deterministically.
+
+Execution here is **result-neutral by contract**: serial and pooled
+maps produce byte-identical outputs for any worker count (pinned by
+the invariance suites), which is why ``repro.exec`` sits with
+``repro.perf``/``repro.obs`` on the RL108 fingerprint prune list.
+Knobs: ``REPRO_EXEC_WORKERS`` / :func:`configure` (the CLI
+``--jobs``/``--serial`` flags); see docs/PERFORMANCE.md.
+"""
+
+from .backend import (
+    ExecBackend,
+    MapReport,
+    backend_for,
+    configure,
+    counters_snapshot,
+    default_backend,
+    resolve_workers,
+    shutdown,
+)
+from .sharding import ShardPlanner
+from .transport import ArrayPayload, decode_result, encode_result
+
+__all__ = [
+    "ArrayPayload",
+    "ExecBackend",
+    "MapReport",
+    "ShardPlanner",
+    "backend_for",
+    "configure",
+    "counters_snapshot",
+    "decode_result",
+    "default_backend",
+    "encode_result",
+    "resolve_workers",
+    "shutdown",
+]

@@ -1,0 +1,202 @@
+"""Result transport across the worker/parent process boundary.
+
+Workers hand results back to the parent in one of two forms:
+
+* **Shared-memory structure-of-arrays.**  A worker that returns an
+  :class:`ArrayPayload` with enough array bytes gets its arrays copied
+  into a single ``multiprocessing.shared_memory`` block.  Only a tiny
+  :class:`WireResult` descriptor (segment name, dtype/shape specs, the
+  pickled ``meta`` object) crosses the pipe; the parent attaches,
+  copies the arrays out, closes and unlinks.  NumPy result blocks
+  therefore never ride through pickle.
+
+* **Pickle fallback.**  Anything else — non-array results, or array
+  payloads below :data:`shm_min_bytes` where the segment setup would
+  cost more than it saves — is pickled *by the worker* into
+  ``payload_bytes``, so the parent knows exactly how many bytes took
+  the pickle path (the ``exec.pickle_bytes`` counter).
+
+The encode/decode pair is exact: ``decode(encode(x))`` reproduces
+``x`` bit-for-bit (float64 arrays are copied, never re-parsed), which
+is what lets serial and pooled execution produce byte-identical
+manifests.
+
+Resource-tracker discipline: on Linux the creating process registers
+each segment with the ``multiprocessing`` resource tracker.  The
+worker *unregisters* before handing the name to the parent — the
+parent owns the segment from then on and unlinks it after copying.
+Without the unregister, the tracker would whine about (or double-free)
+segments the worker no longer controls.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayPayload", "WireResult", "encode_result", "decode_result", "shm_min_bytes"]
+
+#: Below this many array bytes the shared-memory segment setup
+#: (create + register + attach + unlink, ~4 syscalls) costs more than
+#: pickling; such payloads take the pickle fallback.
+_DEFAULT_SHM_MIN_BYTES = 64 * 1024
+
+
+def shm_min_bytes() -> int:
+    """The shm-vs-pickle crossover, overridable for benchmarks/tests
+    via ``REPRO_EXEC_SHM_MIN_BYTES``."""
+    raw = os.environ.get("REPRO_EXEC_SHM_MIN_BYTES")
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return _DEFAULT_SHM_MIN_BYTES
+
+
+@dataclass
+class ArrayPayload:
+    """A worker result split into its array bulk and a small meta part.
+
+    Worker functions that want zero-pickle transport return one of
+    these: ``arrays`` maps names to ndarrays (the structure-of-arrays
+    bulk), ``meta`` holds everything else (must stay picklable, should
+    stay small).  The call site receives the same :class:`ArrayPayload`
+    back whether the task ran serially or crossed a process boundary.
+    """
+
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    meta: object = None
+
+    def array_nbytes(self) -> int:
+        """Total array bytes (what shm transport would carry)."""
+        return sum(int(a.nbytes) for a in self.arrays.values())
+
+
+@dataclass
+class WireResult:
+    """What actually crosses the pipe for one task's result.
+
+    ``shm_name is None`` means the whole result is in
+    ``payload_bytes`` (pickle fallback).  Otherwise ``payload_bytes``
+    holds only the pickled ``meta`` and the arrays live in the named
+    shared-memory segment, laid out back-to-back per ``specs``.
+    """
+
+    shm_name: Optional[str]
+    #: (array name, dtype str, shape, byte offset) per array.
+    specs: List[Tuple[str, str, Tuple[int, ...], int]]
+    shm_bytes: int
+    payload_bytes: bytes
+
+
+def _shm_encode(payload: ArrayPayload) -> Optional[WireResult]:
+    """Copy ``payload.arrays`` into one shm segment (worker side).
+
+    Returns ``None`` when shared memory is unavailable (no /dev/shm,
+    permission denied) — the caller then falls back to pickle.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    specs: List[Tuple[str, str, Tuple[int, ...], int]] = []
+    offset = 0
+    arrays = {}
+    for name, raw in payload.arrays.items():
+        arr = np.ascontiguousarray(raw)
+        specs.append((name, arr.dtype.str, tuple(arr.shape), offset))
+        arrays[name] = arr
+        offset += int(arr.nbytes)
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    except (OSError, PermissionError, ValueError):
+        return None
+    try:
+        for (name, _dtype, _shape, start) in specs:
+            arr = arrays[name]
+            if arr.nbytes:
+                shm.buf[start:start + arr.nbytes] = arr.tobytes()
+        # Hand ownership to the parent: this process must not let the
+        # resource tracker unlink a segment the parent still reads.
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        wire = WireResult(
+            shm_name=shm.name,
+            specs=specs,
+            shm_bytes=offset,
+            payload_bytes=pickle.dumps(payload.meta),
+        )
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    shm.close()
+    return wire
+
+
+def encode_result(result: object) -> WireResult:
+    """Worker-side encode of one task result for the trip home."""
+    if (
+        isinstance(result, ArrayPayload)
+        and result.array_nbytes() >= shm_min_bytes()
+    ):
+        wire = _shm_encode(result)
+        if wire is not None:
+            return wire
+    return WireResult(
+        shm_name=None,
+        specs=[],
+        shm_bytes=0,
+        payload_bytes=pickle.dumps(result),
+    )
+
+
+def decode_result(wire: object) -> object:
+    """Parent-side decode; passes non-:class:`WireResult` through.
+
+    Serial execution and the parent-side crash fallback store raw
+    results next to wire-encoded ones, so decode must be idempotent on
+    already-decoded values.
+    """
+    if not isinstance(wire, WireResult):
+        return wire
+    if wire.shm_name is None:
+        return pickle.loads(wire.payload_bytes)
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=wire.shm_name)
+    try:
+        arrays: Dict[str, np.ndarray] = {
+            name: _copy_out(shm, dtype, shape, start)
+            for name, dtype, shape, start in wire.specs
+        }
+    finally:
+        # close() refuses while any view on the buffer is alive; the
+        # copies above went through a helper frame so nothing does.
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - only on decode errors
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+    return ArrayPayload(arrays=arrays, meta=pickle.loads(wire.payload_bytes))
+
+
+def _copy_out(
+    shm, dtype: str, shape: Tuple[int, ...], start: int
+) -> np.ndarray:
+    """One array copied out of the segment, leaving no live view."""
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    view = np.frombuffer(
+        shm.buf, dtype=np.dtype(dtype), count=count, offset=start
+    )
+    out = view.reshape(shape).copy()
+    del view
+    return out

@@ -6,17 +6,19 @@ by running many independent *replicas* of an iperf session — a Python
 loop over epochs per replica.  :func:`run_campaign` replaces that with
 the replica-batched engine: one
 :class:`~repro.net.batchlink.BatchWirelessLink` steps a whole block of
-replicas per epoch in lockstep NumPy, and blocks are sharded onto a
-``concurrent.futures`` process pool (mirroring the chunked fan-out of
-:class:`repro.engine.batch.BatchSolverEngine`, but with *processes*
-because the epoch loop itself is Python).
+replicas per epoch in lockstep NumPy, and blocks are dispatched to the
+persistent process pool owned by :mod:`repro.exec` (*processes*
+because the epoch loop itself is Python; the batch solver's chunk
+fan-out uses the same backend's threads).
 
 Everything a worker needs travels in a picklable
 :class:`BatchCampaignConfig` — profiles and controllers are named by
 spec strings, never by object reference.  Each worker fills a
 :class:`~repro.perf.PerfTelemetry` and the parent merges them, so
 ``repro bench --json`` can report per-stage timings and memo-hit
-counters across the whole pool.
+counters across the whole pool.  Per-shard sample blocks ride home as
+:class:`~repro.exec.ArrayPayload` structure-of-arrays — large NumPy
+results cross the process boundary through shared memory, not pickle.
 
 :func:`run_scalar_reference` runs the identical workload on the scalar
 engine — the baseline for the speedup and agreement numbers.
@@ -24,8 +26,6 @@ engine — the baseline for the speedup and agreement numbers.
 
 from __future__ import annotations
 
-import os
-from concurrent import futures
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +39,7 @@ from ..channel.channel import (
     indoor_profile,
     quadrocopter_profile,
 )
+from ..exec import ArrayPayload, backend_for
 from ..faults.outage import BatchOutageSchedule
 from ..faults.plan import FaultPlan
 from ..net.batchlink import BatchWirelessLink
@@ -333,9 +334,55 @@ def _run_block_task(
     Optional[ObsContext],
     Dict[str, object],
 ]:
-    """Unpack helper for ``Executor.map`` over shard tuples."""
+    """Unpack helper for backend ``map`` over shard tuples."""
     config, shard, distances_m, collect_obs = args
     return _run_replica_block(config, shard, distances_m, collect_obs)
+
+
+def _run_block_task_exec(args: Tuple) -> ArrayPayload:
+    """Pool-task wrapper: sample blocks as a structure-of-arrays.
+
+    The per-distance reading lists are flattened into three arrays
+    (``distances`` / ``lengths`` / ``values``) so the bulk of a
+    shard's output can ride the execution backend's shared-memory
+    transport; telemetry, obs context and replay meta stay in the
+    (small) pickled ``meta`` side.  :func:`_decode_block_output`
+    inverts this exactly — float64 in, float64 out — which keeps
+    serial and pooled campaigns bit-identical.
+    """
+    samples, telemetry, obs, meta = _run_block_task(args)
+    keys = list(samples)
+    values = (
+        np.concatenate(
+            [np.asarray(samples[key], dtype=float) for key in keys]
+        )
+        if keys
+        else np.zeros(0, dtype=float)
+    )
+    return ArrayPayload(
+        arrays={
+            "distances": np.asarray(keys, dtype=float),
+            "lengths": np.asarray(
+                [len(samples[key]) for key in keys], dtype=np.int64
+            ),
+            "values": values,
+        },
+        meta=(telemetry, obs, meta),
+    )
+
+
+def _decode_block_output(payload: ArrayPayload) -> Tuple:
+    """Rebuild the worker 4-tuple from its wire payload."""
+    telemetry, obs, meta = payload.meta
+    distances = payload.arrays["distances"].tolist()
+    lengths = payload.arrays["lengths"].tolist()
+    values = payload.arrays["values"]
+    samples: Dict[float, List[float]] = {}
+    pos = 0
+    for distance, n in zip(distances, lengths):
+        samples[distance] = values[pos:pos + n].tolist()
+        pos += n
+    return samples, telemetry, obs, meta
 
 
 # ----------------------------------------------------------------------
@@ -434,10 +481,14 @@ def run_campaign(
 ) -> BatchCampaignResult:
     """Run the campaign on the replica-batched engine.
 
-    ``parallel=None`` auto-enables the process pool when there are
-    several shards and more than one CPU; ``True``/``False`` force it.
-    If the pool cannot be started (restricted environments), the runner
-    degrades to the sequential path and still returns full results.
+    Shards are dispatched through the persistent
+    :mod:`repro.exec` backend: ``parallel=None`` auto-enables the
+    process pool when there are several shards and more than one
+    worker; ``True``/``False`` force it; ``max_workers`` pins the pool
+    width (``repro.exec.backend_for`` keeps one warm pool per width).
+    If the pool cannot be started (restricted environments), the
+    backend degrades to the sequential path and still returns full
+    results.
 
     ``obs`` collects per-shard spans and ``campaign.*`` metrics: each
     worker fills a deterministic context, the parent merges them all
@@ -482,22 +533,16 @@ def run_campaign(
         for shard, distances in shards
         if shard not in restored
     ]
-    if parallel is None:
-        parallel = len(tasks) > 1 and (os.cpu_count() or 1) > 1
-    live = None
     try:
-        if parallel and len(tasks) > 1:
-            try:
-                with futures.ProcessPoolExecutor(
-                    max_workers=max_workers
-                ) as pool:
-                    live = list(pool.map(_run_block_task, tasks))
-            except (
-                OSError, PermissionError, futures.process.BrokenProcessPool
-            ):
-                live = None  # pool unavailable: fall back to sequential
-        if live is None:
-            live = [_run_block_task(task) for task in tasks]
+        live = [
+            _decode_block_output(payload)
+            for payload in backend_for(max_workers).map(
+                _run_block_task_exec,
+                tasks,
+                parallel=parallel,
+                family="campaign.shard",
+            )
+        ]
     finally:
         if run_span is not None:
             run_span.annotate(shards=len(shards))

@@ -3,8 +3,8 @@
 :func:`run_relay_campaign` replays one relay chain under many
 independently sampled outage plans — the relay analogue of
 :func:`repro.measurements.batch.run_campaign` — and shards the
-replicas onto a process pool.  The two invariance rules that make
-campaigns reproducible carry over verbatim:
+replicas onto the persistent :mod:`repro.exec` process pool.  The two
+invariance rules that make campaigns reproducible carry over verbatim:
 
 * every replica's fault plan is keyed to its **global** replica index
   (never to the shard that happens to execute it), so the sampled
@@ -13,17 +13,16 @@ campaigns reproducible carry over verbatim:
   them in shard order, so the merged observability — and therefore the
   campaign manifest — is byte-identical for 1 worker or 8.
 
-When the pool cannot be started (restricted environments) the runner
+When the pool cannot be started (restricted environments) the backend
 degrades to the sequential path and still returns full results.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent import futures
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..exec import backend_for
 from ..faults.plan import FaultPlan
 from ..obs import ObsContext, RunManifest
 from ..sim.random import RandomStreams
@@ -228,10 +227,12 @@ def run_relay_campaign(
 ) -> RelayCampaignResult:
     """Run the relay campaign; worker-count invariant by construction.
 
+    Shards run on the persistent :mod:`repro.exec` backend:
     ``parallel=None`` auto-enables the process pool when there are
-    several shards and more than one CPU; ``True``/``False`` force it.
-    ``obs`` collects per-shard spans and ``relay.campaign.*`` metrics,
-    merged in shard order regardless of completion order.
+    several shards and more than one worker; ``True``/``False`` force
+    it; ``max_workers`` pins the pool width.  ``obs`` collects
+    per-shard spans and ``relay.campaign.*`` metrics, merged in shard
+    order regardless of completion order.
     """
     shards = config.shards()
     collect = obs is not None
@@ -242,22 +243,13 @@ def run_relay_campaign(
     tasks = [
         (config, shard, replicas, collect) for shard, replicas in shards
     ]
-    if parallel is None:
-        parallel = len(tasks) > 1 and (os.cpu_count() or 1) > 1
-    outputs = None
     try:
-        if parallel and len(tasks) > 1:
-            try:
-                with futures.ProcessPoolExecutor(
-                    max_workers=max_workers
-                ) as pool:
-                    outputs = list(pool.map(_run_shard_task, tasks))
-            except (
-                OSError, PermissionError, futures.process.BrokenProcessPool
-            ):
-                outputs = None  # pool unavailable: fall back to sequential
-        if outputs is None:
-            outputs = [_run_shard_task(task) for task in tasks]
+        outputs = backend_for(max_workers).map(
+            _run_shard_task,
+            tasks,
+            parallel=parallel,
+            family="relay.shard",
+        )
     finally:
         if run_span is not None:
             run_span.annotate(shards=len(shards))

@@ -42,7 +42,7 @@ def test_json_report_shape(capsys):
     assert payload["ok"] is True
     assert payload["rules"] == [
         "RL101", "RL102", "RL103", "RL104", "RL105", "RL106", "RL107",
-        "RL108", "RL109", "RL110",
+        "RL108", "RL109", "RL110", "RL111",
     ]
     assert payload["checked_files"] > 50
     assert payload["counts"]["new"] == 0

@@ -1,0 +1,17 @@
+"""Keep the process-global exec registry clean between tests."""
+
+import pytest
+
+import repro.exec as exec_backend
+from repro.exec.backend import _state
+
+
+@pytest.fixture(autouse=True)
+def _clean_exec_state():
+    """Snapshot/restore `configure()` globals; tear pools down after."""
+    state = _state()
+    saved = (state.workers, state.force_serial)
+    yield
+    exec_backend.shutdown()
+    state = _state()
+    state.workers, state.force_serial = saved

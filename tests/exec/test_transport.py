@@ -1,0 +1,79 @@
+"""Wire transport: shm structure-of-arrays vs pickle, exact round trips."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exec import ArrayPayload, decode_result, encode_result
+from repro.exec.transport import WireResult, shm_min_bytes
+
+
+def _roundtrip(result):
+    return decode_result(encode_result(result))
+
+
+class TestPickleFallback:
+    def test_plain_objects_ride_pickle(self):
+        wire = encode_result({"rate": 12.5, "ok": True})
+        assert isinstance(wire, WireResult)
+        assert wire.shm_name is None
+        assert wire.shm_bytes == 0
+        assert decode_result(wire) == {"rate": 12.5, "ok": True}
+
+    def test_small_array_payload_rides_pickle(self):
+        payload = ArrayPayload(
+            arrays={"v": np.arange(8, dtype=np.float64)}, meta="tiny"
+        )
+        wire = encode_result(payload)
+        assert wire.shm_name is None
+        out = decode_result(wire)
+        assert out.meta == "tiny"
+        np.testing.assert_array_equal(out.arrays["v"], payload.arrays["v"])
+
+    def test_decode_is_idempotent_on_raw_results(self):
+        # Serial maps and the crash fallback hand decode raw values.
+        assert decode_result(41) == 41
+        payload = ArrayPayload(arrays={}, meta=None)
+        assert decode_result(payload) is payload
+
+
+class TestSharedMemory:
+    def test_large_payload_rides_shm_bit_exact(self):
+        rng = np.random.default_rng(5)
+        payload = ArrayPayload(
+            arrays={
+                "d": rng.normal(size=16_384),
+                "n": rng.integers(0, 99, size=2048).astype(np.int64),
+                "empty": np.zeros(0, dtype=np.float64),
+            },
+            meta=("stage", {"k": 3}),
+        )
+        wire = encode_result(payload)
+        assert wire.shm_name is not None
+        assert wire.shm_bytes == payload.array_nbytes()
+        out = decode_result(wire)
+        assert out.meta == ("stage", {"k": 3})
+        assert set(out.arrays) == set(payload.arrays)
+        for name, arr in payload.arrays.items():
+            np.testing.assert_array_equal(out.arrays[name], arr)
+            assert out.arrays[name].dtype == arr.dtype
+
+    def test_segment_is_unlinked_after_decode(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        before = set(os.listdir("/dev/shm"))
+        _roundtrip(
+            ArrayPayload(arrays={"v": np.ones(20_000)}, meta=None)
+        )
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert not leaked
+
+    def test_threshold_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHM_MIN_BYTES", "0")
+        assert shm_min_bytes() == 0
+        wire = encode_result(ArrayPayload(arrays={"v": np.ones(4)}))
+        assert wire.shm_name is not None
+        decode_result(wire)  # release the segment
+        monkeypatch.setenv("REPRO_EXEC_SHM_MIN_BYTES", "junk")
+        assert shm_min_bytes() == 64 * 1024
